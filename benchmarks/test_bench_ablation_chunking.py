@@ -1,0 +1,74 @@
+"""Ablation C — the intelligent (application-adaptive) chunking policy.
+
+Runs the AA engine with its per-category policy table against three
+degenerate policies (everything-WFC, everything-SC, everything-CDC) on
+identical snapshots.  The adaptive table should match the best
+effectiveness (~all-CDC/all-SC) while approaching the best throughput
+(~all-WFC) — i.e. the best *efficiency*, which is the paper's thesis.
+"""
+
+from conftest import SCALE, emit
+
+from repro.classify.policy import DedupPolicy
+from repro.core import aa_dedupe_config
+from repro.metrics import Table
+from repro.trace.driver import run_paper_evaluation
+from repro.util.units import KIB, format_bytes
+
+
+def _fixed(name: str, chunker: str, hash_name: str, **params):
+    return aa_dedupe_config(name=name, policy_table=None,
+                            fixed_policy=DedupPolicy(chunker, hash_name,
+                                                     params))
+
+
+def test_adaptive_vs_fixed_chunking(benchmark, workload_snapshots):
+    def run():
+        schemes = [
+            aa_dedupe_config(),
+            _fixed("all-WFC", "wfc", "rabin12"),
+            _fixed("all-SC", "sc", "md5", chunk_size=8 * KIB),
+            _fixed("all-CDC", "cdc", "sha1", avg_size=8 * KIB,
+                   min_size=2 * KIB, max_size=16 * KIB),
+        ]
+        return run_paper_evaluation(scale=SCALE,
+                                    snapshots=workload_snapshots,
+                                    schemes=schemes)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    up = result.scale_to_paper()
+    table = Table(["policy", "stored", "mean DR", "mean DE"],
+                  title="Ablation C: adaptive vs fixed chunking policy")
+    summary = {}
+    for name, run_ in result.runs.items():
+        mean_dr = sum(r.stats.dedup_ratio for r in run_.sessions) / len(
+            run_.sessions)
+        summary[name] = (run_.total_uploaded(), mean_dr,
+                         run_.mean_efficiency())
+        table.add_row([name,
+                       format_bytes(run_.total_uploaded() * up,
+                                    decimal=True),
+                       mean_dr,
+                       format_bytes(run_.mean_efficiency(), decimal=True)
+                       + "/s"])
+    emit(table.render())
+
+    stored = {n: v[0] for n, v in summary.items()}
+    de = {n: v[2] for n, v in summary.items()}
+    # The adaptive policy is strictly the most space-efficient.
+    assert stored["AA-Dedupe"] == min(stored.values())
+    # Whole-file-only dedup wastes gross space (no sub-file redundancy).
+    assert stored["all-WFC"] > 2 * stored["AA-Dedupe"]
+    # Uniform CDC is compute-bound: less than 60 % of AA's efficiency
+    # *and* worse space (forced cuts lose VM-image duplicates).
+    assert de["all-CDC"] < 0.6 * de["AA-Dedupe"]
+    assert stored["all-CDC"] > 1.1 * stored["AA-Dedupe"]
+    # Uniform SC is the strongest degenerate policy on this VM-heavy
+    # workload (it is what AA itself picks for the dominant class), yet
+    # it still stores measurably more and its DE edge stays small.
+    assert stored["all-SC"] > 1.03 * stored["AA-Dedupe"]
+    assert de["all-SC"] < 1.25 * de["AA-Dedupe"]
+    # Pareto check: no degenerate policy beats AA on both axes at once.
+    for name in ("all-WFC", "all-SC", "all-CDC"):
+        assert stored[name] > stored["AA-Dedupe"] or \
+            de[name] < de["AA-Dedupe"], name

@@ -1,0 +1,41 @@
+"""Fig. 10 — monthly cloud cost of the five backup schemes.
+
+Paper shape: AA-Dedupe is cheapest (container packing kills the
+per-request cost that chunk-granular transfer pays; dedup kills the
+storage/transfer cost that file-granular transfer pays).  The paper
+quotes a 12–29 % saving; our synthetic workload yields a larger gap
+because Avamar/SAM's per-chunk PUT counts dominate their bill — see
+EXPERIMENTS.md for the accounting.
+"""
+
+from conftest import emit
+
+from repro.metrics import Table
+
+
+def test_fig10_cloud_cost(benchmark, figures):
+    costs = benchmark.pedantic(lambda: figures.fig10_cost,
+                               rounds=1, iterations=1)
+    table = Table(["scheme", "storage $", "transfer $", "requests $",
+                   "total $"],
+                  title="Fig. 10: monthly cloud cost (April-2011 S3 "
+                        "prices, paper-scale)")
+    for scheme, breakdown in costs.items():
+        table.add_row([scheme, breakdown.storage, breakdown.transfer,
+                       breakdown.requests, breakdown.total])
+    emit(table.render())
+
+    totals = {s: b.total for s, b in costs.items()}
+    # AA-Dedupe is the cheapest scheme overall.
+    assert totals["AA-Dedupe"] == min(totals.values())
+    # The paper's request-cost argument: file-granular schemes pay less
+    # in requests than chunk-granular ones...
+    assert costs["JungleDisk"].requests < costs["Avamar"].requests
+    assert costs["BackupPC"].requests < costs["SAM"].requests
+    # ...and container packing beats both.
+    assert costs["AA-Dedupe"].requests < costs["JungleDisk"].requests
+    # Storage+transfer ordering follows dedup effectiveness.
+    assert costs["AA-Dedupe"].storage <= costs["BackupPC"].storage
+    # At least the paper's 12 % saving against every other scheme.
+    for other in ("JungleDisk", "BackupPC", "Avamar", "SAM"):
+        assert totals["AA-Dedupe"] < 0.88 * totals[other]

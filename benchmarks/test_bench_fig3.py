@@ -1,0 +1,47 @@
+"""Fig. 3 — computational overhead of typical hash functions.
+
+Two views are produced:
+
+* the **modelled** execution times on the paper's 2.53 GHz laptop
+  (WFC vs SC × Rabin/MD5/SHA-1 over a 60 MB dataset), which reproduce
+  the figure's shape: time tracks data capacity, Rabin < MD5 < SHA-1;
+* a **real microbenchmark** of this library's fingerprinter
+  implementations on the current machine (pytest-benchmark rows).
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis import fig3_hash_overhead
+from repro.hashing import get_hash
+from repro.metrics import Table
+from repro.util.units import MB
+
+
+def test_fig3_modelled_overhead(benchmark):
+    times = benchmark.pedantic(fig3_hash_overhead, rounds=1, iterations=1)
+    table = Table(["chunking", "Rabin(12B)", "MD5(16B)", "SHA-1(20B)"],
+                  title="Fig. 3: hash execution time on 60MB "
+                        "(modelled, paper platform, seconds)")
+    for chunking in ("wfc", "sc"):
+        table.add_row([chunking.upper(),
+                       f"{times[(chunking, 'rabin12')]:.2f}s",
+                       f"{times[(chunking, 'md5')]:.2f}s",
+                       f"{times[(chunking, 'sha1')]:.2f}s"])
+    emit(table.render())
+    for chunking in ("wfc", "sc"):
+        assert times[(chunking, "rabin12")] < times[(chunking, "md5")] \
+            < times[(chunking, "sha1")]
+    # Capacity (not granularity) dominates: WFC ~= SC per hash.
+    for h in ("rabin12", "md5", "sha1"):
+        assert times[("sc", h)] < 1.4 * times[("wfc", h)]
+
+
+@pytest.mark.parametrize("hash_name", ["rabin12", "md5", "sha1"])
+def test_fig3_real_fingerprint_throughput(benchmark, hash_name):
+    data = np.random.default_rng(3).integers(
+        0, 256, size=1 * MB, dtype=np.uint8).tobytes()
+    fingerprinter = get_hash(hash_name)
+    digest = benchmark(fingerprinter.hash, data)
+    assert len(digest) == fingerprinter.digest_size

@@ -1,0 +1,45 @@
+"""Fig. 4 — deduplication throughput of WFC/SC/CDC × three hashes.
+
+Modelled throughputs on the paper platform (the figure's shape: simpler
+chunking ⇒ higher throughput, weaker hash ⇒ higher throughput), plus a
+real microbenchmark of this library's chunkers.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis import fig4_throughputs
+from repro.chunking import RabinCDC, StaticChunker, WholeFileChunker
+from repro.metrics import Table
+from repro.util.units import MB, format_bytes
+
+
+def test_fig4_modelled_throughput(benchmark):
+    thr = benchmark.pedantic(fig4_throughputs, rounds=1, iterations=1)
+    table = Table(["chunking", "Rabin", "MD5", "SHA-1"],
+                  title="Fig. 4: dedup throughput "
+                        "(modelled, paper platform)")
+    for chunking in ("wfc", "sc", "cdc"):
+        table.add_row([chunking.upper()] + [
+            format_bytes(thr[(chunking, h)], decimal=True) + "/s"
+            for h in ("rabin12", "md5", "sha1")])
+    emit(table.render())
+
+    for h in ("rabin12", "md5", "sha1"):
+        assert thr[("wfc", h)] > thr[("sc", h)] > thr[("cdc", h)]
+    for c in ("wfc", "sc", "cdc"):
+        assert thr[(c, "rabin12")] > thr[(c, "md5")] > thr[(c, "sha1")]
+
+
+@pytest.mark.parametrize("chunker_name,factory", [
+    ("wfc", WholeFileChunker),
+    ("sc", StaticChunker),
+    ("cdc", RabinCDC),
+])
+def test_fig4_real_chunker_throughput(benchmark, chunker_name, factory):
+    data = np.random.default_rng(4).integers(
+        0, 256, size=2 * MB, dtype=np.uint8).tobytes()
+    chunker = factory()
+    chunks = benchmark(chunker.chunk, data)
+    assert sum(c.length for c in chunks) == len(data)

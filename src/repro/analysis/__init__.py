@@ -1,0 +1,22 @@
+"""Figure/table regeneration: one function per paper exhibit."""
+
+from repro.analysis.figures import (
+    fig1_fig2_size_distribution,
+    table1_redundancy,
+    cross_application_sharing,
+    fig3_hash_overhead,
+    fig4_throughputs,
+    paper_figures_7_to_11,
+)
+from repro.analysis.estimate import DedupEstimate, estimate_directory
+
+__all__ = [
+    "fig1_fig2_size_distribution",
+    "table1_redundancy",
+    "cross_application_sharing",
+    "fig3_hash_overhead",
+    "fig4_throughputs",
+    "paper_figures_7_to_11",
+    "DedupEstimate",
+    "estimate_directory",
+]

@@ -1,0 +1,82 @@
+"""Export regenerated figure data for external plotting.
+
+The bench harness prints text tables; this module dumps the same series
+as machine-readable JSON (one document for everything) and per-figure
+CSV files, so the figures can be re-plotted with any tool without
+re-running the evaluation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis.figures import PaperFigures
+
+__all__ = ["figures_to_json", "write_figures", "figure_csv"]
+
+
+def figures_to_json(figures: PaperFigures) -> Dict:
+    """All Fig. 7–11 series as one JSON-serialisable document."""
+    return {
+        "scale": figures.result.scale,
+        "session_bytes": figures.result.session_bytes,
+        "schemes": figures.result.scheme_names,
+        "fig7_cumulative_storage_bytes": figures.fig7_cumulative_storage,
+        "fig8_efficiency_bytes_saved_per_second": figures.fig8_efficiency,
+        "fig9_backup_window_seconds": figures.fig9_window,
+        "fig10_monthly_cost_usd": {
+            scheme: {"storage": b.storage, "transfer": b.transfer,
+                     "requests": b.requests, "total": b.total}
+            for scheme, b in figures.fig10_cost.items()},
+        "fig11_dedup_energy_joules": figures.fig11_energy,
+    }
+
+
+def figure_csv(series: Dict[str, list]) -> str:
+    """Render a per-session scheme series dict as CSV text."""
+    schemes = list(series)
+    sessions = len(next(iter(series.values()))) if schemes else 0
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["session"] + schemes)
+    for i in range(sessions):
+        writer.writerow([i + 1] + [series[s][i] for s in schemes])
+    return buffer.getvalue()
+
+
+def write_figures(figures: PaperFigures,
+                  out_dir: str | os.PathLike) -> list[str]:
+    """Write ``figures.json`` plus one CSV per figure; returns paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    json_path = out / "figures.json"
+    json_path.write_text(json.dumps(figures_to_json(figures), indent=2))
+    written.append(str(json_path))
+
+    for name, series in (
+            ("fig7_cumulative_storage", figures.fig7_cumulative_storage),
+            ("fig8_efficiency", figures.fig8_efficiency),
+            ("fig9_backup_window", figures.fig9_window),
+            ("fig11_energy", figures.fig11_energy)):
+        path = out / f"{name}.csv"
+        path.write_text(figure_csv(series))
+        written.append(str(path))
+
+    cost_path = out / "fig10_cost.csv"
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["scheme", "storage_usd", "transfer_usd",
+                     "requests_usd", "total_usd"])
+    for scheme, b in figures.fig10_cost.items():
+        writer.writerow([scheme, b.storage, b.transfer, b.requests,
+                         b.total])
+    cost_path.write_text(buffer.getvalue())
+    written.append(str(cost_path))
+    return written

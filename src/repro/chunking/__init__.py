@@ -1,0 +1,28 @@
+"""Chunking substrate: the three chunking methods of the paper.
+
+* :class:`~repro.chunking.wfc.WholeFileChunker` — WFC, one chunk per file
+  (used for compressed application data);
+* :class:`~repro.chunking.static.StaticChunker` — SC, fixed 8 KiB chunks
+  (static uncompressed data / VM images);
+* :class:`~repro.chunking.cdc.RabinCDC` — content-defined chunking with a
+  48-byte Rabin window, 8 KiB expected / 2 KiB min / 16 KiB max
+  (dynamic uncompressed data).
+
+All implement :class:`~repro.chunking.base.Chunker` and are registered by
+name so scheme policies can reference them declaratively.
+"""
+
+from repro.chunking.base import Chunk, Chunker, get_chunker, register_chunker
+from repro.chunking.wfc import WholeFileChunker
+from repro.chunking.static import StaticChunker
+from repro.chunking.cdc import RabinCDC
+
+__all__ = [
+    "Chunk",
+    "Chunker",
+    "get_chunker",
+    "register_chunker",
+    "WholeFileChunker",
+    "StaticChunker",
+    "RabinCDC",
+]

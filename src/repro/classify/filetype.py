@@ -1,0 +1,144 @@
+"""Application-type registry and extension-based classification.
+
+The paper divides files into three categories by whether the format is
+compressed and whether it is frequently edited (Sec. III-C):
+
+* **compressed** (AVI, MP3, ISO, DMG, RAR, JPG): near-zero sub-file
+  redundancy → WFC + 12 B Rabin;
+* **static uncompressed** (PDF, EXE, VMDK): rarely edited / block-aligned
+  updates → SC + MD5;
+* **dynamic uncompressed** (DOC, TXT, PPT): frequently edited → CDC + SHA-1.
+
+The registry is extensible (``register_app_type``) so deployments can add
+formats; unknown extensions fall back to :data:`UNKNOWN`, which the policy
+table treats as dynamic uncompressed — the conservative choice (maximum
+redundancy detection, strongest hash).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = [
+    "Category",
+    "AppType",
+    "UNKNOWN",
+    "PAPER_APPS",
+    "register_app_type",
+    "app_for_extension",
+    "classify_name",
+    "classify_path",
+    "known_app_types",
+]
+
+
+class Category(enum.Enum):
+    """The three deduplication categories of the paper (plus tiny files,
+    which are filtered before classification ever matters)."""
+
+    COMPRESSED = "compressed"
+    STATIC = "static_uncompressed"
+    DYNAMIC = "dynamic_uncompressed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AppType:
+    """One application/file type: its label, extensions and category.
+
+    ``label`` doubles as the subindex key in the application-aware index
+    (paper Fig. 6: one small chunk index per file type).
+    """
+
+    label: str
+    category: Category
+    extensions: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+#: Catch-all type for unknown extensions; treated as dynamic uncompressed.
+UNKNOWN = AppType("unknown", Category.DYNAMIC, ())
+
+#: The twelve application types of the paper's evaluation (Table 1/Fig. 6).
+PAPER_APPS: Tuple[AppType, ...] = (
+    AppType("avi", Category.COMPRESSED, ("avi",)),
+    AppType("mp3", Category.COMPRESSED, ("mp3",)),
+    AppType("iso", Category.COMPRESSED, ("iso",)),
+    AppType("dmg", Category.COMPRESSED, ("dmg",)),
+    AppType("rar", Category.COMPRESSED, ("rar",)),
+    AppType("jpg", Category.COMPRESSED, ("jpg", "jpeg")),
+    AppType("pdf", Category.STATIC, ("pdf",)),
+    AppType("exe", Category.STATIC, ("exe", "dll", "so")),
+    AppType("vmdk", Category.STATIC, ("vmdk", "vdi", "qcow2", "img")),
+    AppType("doc", Category.DYNAMIC, ("doc", "rtf", "odt")),
+    AppType("txt", Category.DYNAMIC, ("txt", "md", "log", "csv", "html",
+                                      "xml", "json", "py", "c", "h", "java",
+                                      "tex")),
+    AppType("ppt", Category.DYNAMIC, ("ppt", "xls", "vsd")),
+)
+
+#: Additional common formats so the tool is useful on real directories.
+_EXTRA_APPS: Tuple[AppType, ...] = (
+    AppType("zip", Category.COMPRESSED, ("zip", "gz", "bz2", "xz", "7z",
+                                         "tgz", "jar", "docx", "xlsx",
+                                         "pptx", "apk", "epub")),
+    AppType("png", Category.COMPRESSED, ("png", "gif", "webp", "heic")),
+    AppType("video", Category.COMPRESSED, ("mp4", "mkv", "mov", "wmv",
+                                           "flv", "m4v")),
+    AppType("audio", Category.COMPRESSED, ("aac", "ogg", "flac", "m4a",
+                                           "wma", "wav")),
+)
+
+_BY_EXT: Dict[str, AppType] = {}
+_BY_LABEL: Dict[str, AppType] = {}
+
+
+def register_app_type(app: AppType, *, override: bool = False) -> None:
+    """Add ``app`` to the registry, mapping each of its extensions.
+
+    With ``override=False`` (default) an extension collision raises
+    ``ValueError`` so library and user registrations cannot silently
+    shadow each other.
+    """
+    for ext in app.extensions:
+        ext = ext.lower().lstrip(".")
+        if ext in _BY_EXT and not override:
+            raise ValueError(f"extension {ext!r} already registered "
+                             f"to {_BY_EXT[ext].label!r}")
+        _BY_EXT[ext] = app
+    _BY_LABEL[app.label] = app
+
+
+for _app in PAPER_APPS + _EXTRA_APPS:
+    register_app_type(_app)
+_BY_LABEL[UNKNOWN.label] = UNKNOWN
+
+
+def app_for_extension(ext: str) -> AppType:
+    """AppType for a bare extension (``"mp3"`` or ``".MP3"``)."""
+    return _BY_EXT.get(ext.lower().lstrip("."), UNKNOWN)
+
+
+def classify_name(name: str) -> AppType:
+    """Classify by file *name* (extension only, no content access)."""
+    _, dot, ext = name.rpartition(".")
+    if not dot:
+        return UNKNOWN
+    return app_for_extension(ext)
+
+
+def classify_path(path: str | os.PathLike) -> AppType:
+    """Classify a filesystem path by its extension."""
+    return classify_name(os.fspath(path))
+
+
+def known_app_types() -> Tuple[AppType, ...]:
+    """All registered application types (stable order by label)."""
+    return tuple(sorted(set(_BY_LABEL.values()), key=lambda a: a.label))

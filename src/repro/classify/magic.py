@@ -1,0 +1,94 @@
+"""Content sniffing (magic numbers) for extensionless or mislabelled files.
+
+Extension-based classification (:mod:`repro.classify.filetype`) is the
+paper's mechanism — "the selection ... is entirely based on file type"
+— but a deployable client needs a fallback for files without a usable
+extension.  :func:`sniff_bytes` recognises the magic numbers of the
+formats in the registry; :func:`classify_file` combines both signals
+(extension wins when present, matching the paper's behaviour).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.classify.filetype import AppType, UNKNOWN, app_for_extension, classify_path
+
+__all__ = ["sniff_bytes", "classify_file"]
+
+# (offset, signature bytes, extension to resolve through the registry)
+_SIGNATURES: tuple[tuple[int, bytes, str], ...] = (
+    (0, b"\xFF\xD8\xFF", "jpg"),
+    (0, b"\x89PNG\r\n\x1a\n", "png"),
+    (0, b"GIF8", "png"),          # gif shares the raster-image app type
+    (0, b"%PDF", "pdf"),
+    (0, b"PK\x03\x04", "zip"),
+    (0, b"Rar!\x1a\x07", "rar"),
+    (0, b"7z\xBC\xAF\x27\x1C", "zip"),
+    (0, b"\x1f\x8b", "zip"),      # gzip
+    (0, b"MZ", "exe"),
+    (0, b"\x7fELF", "exe"),
+    (0, b"ID3", "mp3"),
+    (0, b"\xFF\xFB", "mp3"),
+    (0, b"OggS", "ogg"),
+    (0, b"fLaC", "flac"),
+    (0, b"RIFF", "avi"),          # refined below for WAVE vs AVI
+    (0, b"KDMV", "vmdk"),         # VMDK sparse extent header
+    (0, b"# Disk DescriptorFile", "vmdk"),
+    (0, b"koly", "dmg"),
+    (32769, b"CD001", "iso"),
+    (0, b"\xD0\xCF\x11\xE0\xA1\xB1\x1A\xE1", "doc"),  # OLE2 (doc/ppt/xls)
+    (0, b"{\\rtf", "doc"),
+)
+
+_MAX_PREFIX = 64
+
+
+def sniff_bytes(head: bytes, *, tail_probe: Optional[bytes] = None) -> AppType:
+    """Classify file content from its leading bytes.
+
+    ``head`` should contain at least the first 64 bytes.  ``tail_probe``
+    optionally carries bytes at offset 32769 for ISO9660 detection (the
+    only deep-offset signature).  Returns :data:`UNKNOWN` when nothing
+    matches.
+    """
+    for offset, sig, ext in _SIGNATURES:
+        if offset == 0:
+            if head.startswith(sig):
+                if sig == b"RIFF" and len(head) >= 12:
+                    kind = head[8:12]
+                    if kind == b"AVI ":
+                        return app_for_extension("avi")
+                    if kind == b"WAVE":
+                        return app_for_extension("wav")
+                    continue
+                return app_for_extension(ext)
+        elif tail_probe is not None and tail_probe.startswith(sig):
+            return app_for_extension(ext)
+    return UNKNOWN
+
+
+def classify_file(path: str | os.PathLike, *,
+                  sniff_fallback: bool = True) -> AppType:
+    """Classify a real file: extension first, magic-number fallback.
+
+    The extension verdict is authoritative when it resolves (paper
+    behaviour); sniffing only rescues files the extension cannot place.
+    IO errors degrade gracefully to :data:`UNKNOWN`.
+    """
+    app = classify_path(path)
+    if app is not UNKNOWN or not sniff_fallback:
+        return app
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(_MAX_PREFIX)
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            tail = None
+            if size >= 32769 + 5:
+                fh.seek(32769)
+                tail = fh.read(5)
+    except OSError:
+        return UNKNOWN
+    return sniff_bytes(head, tail_probe=tail)

@@ -1,0 +1,98 @@
+"""The intelligent-chunking policy table (paper Fig. 6).
+
+Maps each :class:`~repro.classify.filetype.Category` to its chunking
+method and fingerprint hash:
+
+===================  =======  ==================  ===========
+Category             Chunker  Hash                Digest size
+===================  =======  ==================  ===========
+compressed           WFC      extended Rabin      12 B
+static uncompressed  SC 8KiB  MD5                 16 B
+dynamic uncompressed CDC 8KiB SHA-1               20 B
+===================  =======  ==================  ===========
+
+A :class:`DedupPolicy` is a *description* (names + parameters); the real
+engine instantiates chunkers/hashes from it, and the trace engine reads
+the very same description to charge modelled CPU costs — one source of
+truth for both layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.chunking import Chunker, RabinCDC, StaticChunker, WholeFileChunker
+from repro.classify.filetype import AppType, Category, classify_path
+from repro.errors import ConfigError
+from repro.hashing import Fingerprinter, get_hash
+from repro.util.units import KIB
+
+__all__ = ["DedupPolicy", "AA_POLICY_TABLE", "policy_for_category",
+           "policy_for_path", "make_chunker"]
+
+
+@dataclass(frozen=True)
+class DedupPolicy:
+    """Declarative (chunking, hashing) choice for one file category."""
+
+    #: ``"wfc"``, ``"sc"`` or ``"cdc"``.
+    chunker: str
+    #: Registered hash name (``"rabin12"``, ``"md5"``, ``"sha1"``).
+    hash_name: str
+    #: Chunker keyword parameters (sizes in bytes).
+    chunker_params: Mapping[str, int] = field(default_factory=dict)
+
+    def make_chunker(self) -> Chunker:
+        """Instantiate the configured chunker."""
+        return make_chunker(self.chunker, dict(self.chunker_params))
+
+    def fingerprinter(self) -> Fingerprinter:
+        """Resolve the configured fingerprint hash (shared instance)."""
+        return get_hash(self.hash_name)
+
+    @property
+    def average_chunk_size(self) -> float:
+        """Nominal average chunk size (``inf`` for WFC), for cost models."""
+        return self.make_chunker().average_chunk_size()
+
+
+def make_chunker(name: str, params: Dict[str, int]) -> Chunker:
+    """Construct a chunker by policy name with explicit parameters."""
+    if name == "wfc":
+        return WholeFileChunker()
+    if name == "sc":
+        return StaticChunker(**params) if params else StaticChunker()
+    if name == "cdc":
+        return RabinCDC(**params) if params else RabinCDC()
+    raise ConfigError(f"unknown chunker name in policy: {name!r}")
+
+
+#: The AA-Dedupe policy table — the paper's Fig. 6, as data.
+AA_POLICY_TABLE: Dict[Category, DedupPolicy] = {
+    Category.COMPRESSED: DedupPolicy("wfc", "rabin12"),
+    Category.STATIC: DedupPolicy("sc", "md5", {"chunk_size": 8 * KIB}),
+    Category.DYNAMIC: DedupPolicy(
+        "cdc", "sha1",
+        {"avg_size": 8 * KIB, "min_size": 2 * KIB, "max_size": 16 * KIB,
+         "window": 48}),
+}
+
+
+def policy_for_category(category: Category,
+                        table: Mapping[Category, DedupPolicy] | None = None
+                        ) -> DedupPolicy:
+    """Look up the policy for ``category`` (default: AA-Dedupe's table)."""
+    table = AA_POLICY_TABLE if table is None else table
+    try:
+        return table[category]
+    except KeyError:
+        raise ConfigError(f"policy table lacks category {category}") from None
+
+
+def policy_for_path(path: str,
+                    table: Mapping[Category, DedupPolicy] | None = None
+                    ) -> tuple[AppType, DedupPolicy]:
+    """Classify ``path`` and return ``(app_type, policy)`` in one step."""
+    app = classify_path(path)
+    return app, policy_for_category(app.category, table)

@@ -1,0 +1,250 @@
+"""Command-line interface: a usable AA-Dedupe backup tool.
+
+::
+
+    python -m repro backup  ~/Documents --store /backups/cloud
+    python -m repro ls      --store /backups/cloud
+    python -m repro restore 0 /tmp/out --store /backups/cloud
+    python -m repro gc      --store /backups/cloud --keep-last 4
+    python -m repro scrub   --store /backups/cloud
+    python -m repro schemes
+
+The store is a directory-backed object store
+(:class:`repro.cloud.LocalDirectoryBackend`); clients are stateless —
+each invocation resumes dedup state from the synced cloud index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import all_scheme_configs
+from repro.cloud.local import LocalDirectoryBackend
+from repro.core import naming
+from repro.core.backup import BackupClient
+from repro.core.gc import collect_garbage
+from repro.core.options import SchemeConfig
+from repro.core.recipe import Manifest
+from repro.core.restore import RestoreClient
+from repro.core.retention import keep_last
+from repro.core.scrub import scrub_cloud
+from repro.core.source import DirectorySource
+from repro.metrics.report import Table
+from repro.util.units import format_bytes, format_seconds, parse_size
+
+__all__ = ["main", "build_parser"]
+
+
+def _scheme_by_name(name: str) -> SchemeConfig:
+    for config in all_scheme_configs():
+        if config.name.lower() == name.lower():
+            return config
+    names = ", ".join(c.name for c in all_scheme_configs())
+    raise SystemExit(f"unknown scheme {name!r}; available: {names}")
+
+
+def _session_ids(cloud) -> list[int]:
+    ids = []
+    for key in cloud.list(naming.MANIFEST_PREFIX):
+        stem = key.rsplit("session-", 1)[-1].split(".", 1)[0]
+        try:
+            ids.append(int(stem))
+        except ValueError:
+            continue
+    return sorted(ids)
+
+
+# ----------------------------------------------------------------------
+def cmd_backup(args) -> int:
+    """Run one backup session of SOURCE into the store."""
+    config = _scheme_by_name(args.scheme)
+    if args.container_size:
+        config = config.with_(container_size=parse_size(
+            args.container_size))
+    client = BackupClient(LocalDirectoryBackend(args.store), config)
+    recovered = client.resume_from_cloud()
+    if recovered and not args.quiet:
+        print(f"resumed {recovered} index entries from the store")
+    stats = client.backup(DirectorySource(args.source))
+    client.close()
+    print(stats.summary())
+    if not args.quiet:
+        print(f"  saved {format_bytes(stats.bytes_saved)} "
+              f"({stats.files_tiny} tiny files filtered, "
+              f"{stats.chunks_unique} new chunks, "
+              f"dedup {format_seconds(stats.dedup_wall_seconds)})")
+    return 0
+
+
+def cmd_restore(args) -> int:
+    """Restore a session (or selected paths) into DEST."""
+    cloud = LocalDirectoryBackend(args.store)
+    client = RestoreClient(cloud, verify=not args.no_verify)
+    report = client.restore_to_directory(
+        args.session, args.dest, paths=args.path or None)
+    print(f"restored {report.files_restored} files "
+          f"({format_bytes(report.bytes_restored)}) from session "
+          f"{args.session}; {report.chunks_verified} chunks verified")
+    return 0
+
+
+def cmd_ls(args) -> int:
+    """List sessions stored in the store."""
+    cloud = LocalDirectoryBackend(args.store)
+    ids = _session_ids(cloud)
+    if not ids:
+        print("no sessions in store")
+        return 0
+    table = Table(["session", "scheme", "files", "bytes"])
+    for sid in ids:
+        manifest = Manifest.from_json(cloud.get(naming.manifest_key(sid)))
+        table.add_row([sid, manifest.scheme, len(manifest),
+                       format_bytes(manifest.total_bytes())])
+    print(table.render())
+    return 0
+
+
+def cmd_gc(args) -> int:
+    """Delete old sessions and sweep dead containers/objects."""
+    cloud = LocalDirectoryBackend(args.store)
+    ids = _session_ids(cloud)
+    if args.retain is not None:
+        retain = {int(s) for s in args.retain.split(",") if s}
+    else:
+        retain = keep_last(ids, args.keep_last)
+    report = collect_garbage(cloud, retain)
+    print(f"retained sessions: {sorted(retain) or 'none'}")
+    print(f"deleted {report.deleted_manifests} manifests, "
+          f"{report.deleted_containers} containers, "
+          f"{report.deleted_objects} objects; "
+          f"{report.live_containers} containers live")
+    return 0
+
+
+def cmd_scrub(args) -> int:
+    """Verify container CRCs, extent fingerprints and manifest refs."""
+    cloud = LocalDirectoryBackend(args.store)
+    report = scrub_cloud(cloud, verify_extents=not args.fast)
+    print(f"checked {report.containers_checked} containers "
+          f"({report.extents_verified} extents verified), "
+          f"{report.manifests_checked} manifests "
+          f"({report.refs_resolved} refs resolved), "
+          f"{report.index_replicas_checked} index replicas")
+    if report.clean:
+        print("store is clean")
+        return 0
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return 1
+
+
+def cmd_estimate(args) -> int:
+    """Predict dedup ratio / upload time / cost for a directory."""
+    from repro.analysis.estimate import estimate_directory
+
+    est = estimate_directory(args.source)
+    print(f"{est.files} files, {format_bytes(est.bytes_scanned)} scanned "
+          f"({est.tiny_files} tiny)")
+    print(f"predicted unique data: {format_bytes(est.bytes_unique)} "
+          f"(dedup ratio {est.dedup_ratio:.2f})")
+    table = Table(["category", "scanned", "unique", "DR"])
+    for category, (scanned, unique) in sorted(est.by_category.items()):
+        table.add_row([category, format_bytes(scanned),
+                       format_bytes(unique),
+                       scanned / unique if unique else float("inf")])
+    print(table.render())
+    print(f"first backup over a 500 KB/s uplink: "
+          f"~{format_seconds(est.upload_seconds())}; first-month bill "
+          f"~${est.monthly_cost():.2f} (April-2011 S3 prices)")
+    return 0
+
+
+def cmd_schemes(_args) -> int:
+    """List the available backup schemes."""
+    table = Table(["scheme", "granularity", "index", "containers",
+                   "tiny filter"])
+    for config in all_scheme_configs():
+        if config.incremental_only:
+            granularity = "whole file (incremental)"
+        elif config.policy_table is not None:
+            granularity = "per-category (adaptive)"
+        else:
+            granularity = config.fixed_policy.chunker.upper()
+        table.add_row([config.name, granularity, config.index_layout,
+                       "yes" if config.use_containers else "no",
+                       format_bytes(config.tiny_file_threshold)
+                       if config.tiny_file_threshold else "no"])
+    print(table.render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AA-Dedupe: application-aware source deduplication "
+                    "backup tool (CLUSTER 2011 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def store_arg(p):
+        p.add_argument("--store", required=True,
+                       help="directory-backed object store")
+
+    p = sub.add_parser("backup", help=cmd_backup.__doc__)
+    p.add_argument("source", help="directory to back up")
+    store_arg(p)
+    p.add_argument("--scheme", default="AA-Dedupe",
+                   help="backup scheme (see `repro schemes`)")
+    p.add_argument("--container-size", default=None,
+                   help="override container size, e.g. 1MB")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_backup)
+
+    p = sub.add_parser("restore", help=cmd_restore.__doc__)
+    p.add_argument("session", type=int)
+    p.add_argument("dest")
+    store_arg(p)
+    p.add_argument("--path", action="append",
+                   help="restore only this path (repeatable)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip fingerprint verification")
+    p.set_defaults(func=cmd_restore)
+
+    p = sub.add_parser("ls", help=cmd_ls.__doc__)
+    store_arg(p)
+    p.set_defaults(func=cmd_ls)
+
+    p = sub.add_parser("gc", help=cmd_gc.__doc__)
+    store_arg(p)
+    p.add_argument("--keep-last", type=int, default=7,
+                   help="retain the N most recent sessions (default 7)")
+    p.add_argument("--retain", default=None,
+                   help="explicit comma-separated session ids to retain")
+    p.set_defaults(func=cmd_gc)
+
+    p = sub.add_parser("scrub", help=cmd_scrub.__doc__)
+    store_arg(p)
+    p.add_argument("--fast", action="store_true",
+                   help="CRC/structure checks only (skip re-hashing)")
+    p.set_defaults(func=cmd_scrub)
+
+    p = sub.add_parser("estimate", help=cmd_estimate.__doc__)
+    p.add_argument("source", help="directory to analyse")
+    p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("schemes", help=cmd_schemes.__doc__)
+    p.set_defaults(func=cmd_schemes)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Dict-backed cloud backend for unit tests and the trace simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.cloud.base import CloudBackend
+
+__all__ = ["InMemoryBackend"]
+
+
+class InMemoryBackend(CloudBackend):
+    """An object store that lives in a Python dict."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._objects: Dict[str, bytes] = {}
+
+    def _put(self, key: str, data: bytes) -> None:
+        self._objects[key] = bytes(data)
+
+    def _get(self, key: str) -> Optional[bytes]:
+        return self._objects.get(key)
+
+    def _delete(self, key: str) -> bool:
+        return self._objects.pop(key, None) is not None
+
+    def _list(self, prefix: str) -> Iterator[str]:
+        return (k for k in self._objects if k.startswith(prefix))
+
+    def stored_bytes(self) -> int:
+        """O(n) over values without re-fetch accounting."""
+        return sum(len(v) for v in self._objects.values())
+
+    def object_count(self) -> int:
+        """Number of stored objects."""
+        return len(self._objects)

@@ -1,0 +1,95 @@
+"""Simulated cloud: any backend + WAN timing + S3 billing.
+
+Wraps a :class:`~repro.cloud.base.CloudBackend`, charging every request
+to a :class:`~repro.cloud.wan.WANLink` model on a clock.  With a
+:class:`~repro.simulate.clock.VirtualClock` this yields deterministic
+transfer times at paper scale; with no clock it is a pure accounting
+wrapper around a real backend.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.base import CloudBackend
+from repro.cloud.pricing import PriceBook, S3_APRIL_2011
+from repro.cloud.wan import WANLink, PAPER_WAN
+
+__all__ = ["SimulatedCloud"]
+
+
+class SimulatedCloud:
+    """Facade combining storage, WAN timing, and billing.
+
+    All storage operations delegate to ``backend`` (so the data is really
+    stored and restorable); ``transfer_seconds`` accumulates modelled WAN
+    time, split into upload/download components; ``bill()`` prices the
+    accumulated traffic.
+    """
+
+    def __init__(self,
+                 backend: CloudBackend,
+                 wan: WANLink = PAPER_WAN,
+                 prices: PriceBook = S3_APRIL_2011,
+                 clock=None) -> None:
+        self.backend = backend
+        self.wan = wan
+        self.prices = prices
+        self.clock = clock
+        self.upload_seconds = 0.0
+        self.download_seconds = 0.0
+
+    def _advance(self, seconds: float) -> None:
+        if self.clock is not None and hasattr(self.clock, "advance"):
+            self.clock.advance(seconds)
+
+    # ------------------------------------------------------------------
+    def put(self, key: str, data: bytes) -> None:
+        """Upload an object (charges WAN upload time)."""
+        self.backend.put(key, data)
+        t = self.wan.upload_time(len(data), 1)
+        self.upload_seconds += t
+        self._advance(t)
+
+    def get(self, key: str) -> bytes:
+        """Download an object (charges WAN download time)."""
+        data = self.backend.get(key)
+        t = self.wan.download_time(len(data), 1)
+        self.download_seconds += t
+        self._advance(t)
+        return data
+
+    def exists(self, key: str) -> bool:
+        """Existence probe (one request latency, no payload)."""
+        result = self.backend.exists(key)
+        self.upload_seconds += self.wan.request_latency
+        self._advance(self.wan.request_latency)
+        return result
+
+    def delete(self, key: str) -> bool:
+        """Delete an object (one request latency)."""
+        result = self.backend.delete(key)
+        self._advance(self.wan.request_latency)
+        return result
+
+    def list(self, prefix: str = "") -> list[str]:
+        """List keys (one request latency)."""
+        result = self.backend.list(prefix)
+        self._advance(self.wan.request_latency)
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """The underlying backend's request/byte counters."""
+        return self.backend.stats
+
+    def transfer_seconds(self) -> float:
+        """Total modelled WAN time so far."""
+        return self.upload_seconds + self.download_seconds
+
+    def bill(self, months: float = 1.0) -> float:
+        """Monthly S3-style bill for current stored bytes + past traffic."""
+        return self.prices.monthly_cost(
+            stored_bytes=self.backend.stored_bytes(),
+            uploaded_bytes=self.stats.bytes_uploaded,
+            put_requests=self.stats.put_requests,
+            months=months)

@@ -1,0 +1,27 @@
+"""Container substrate: self-describing chunk containers (paper Sec. III-F).
+
+Deduplication turns large sequential writes into many small random ones;
+AA-Dedupe (like Cumulus, DDFS and Sparse Indexing) regains transfer and
+request efficiency by packing unique chunks and tiny files into fixed-size
+(default 1 MiB) *containers* before shipping them over the WAN.  A
+container is self-describing: a descriptor table inside the blob lists
+every chunk's fingerprint, offset and length, so restore — and disaster
+recovery without the local index — needs nothing else.
+"""
+
+from repro.container.format import (
+    ContainerWriter,
+    ContainerReader,
+    ChunkDescriptor,
+    CONTAINER_MAGIC,
+)
+from repro.container.manager import ContainerManager, ChunkLocation
+
+__all__ = [
+    "ContainerWriter",
+    "ContainerReader",
+    "ChunkDescriptor",
+    "CONTAINER_MAGIC",
+    "ContainerManager",
+    "ChunkLocation",
+]

@@ -1,0 +1,94 @@
+"""Deletion support: mark-and-sweep garbage collection of cloud state.
+
+"Supporting deletion of files requires an additional process in the
+background" (Sec. III-F).  When backup sessions are retired, containers
+and standalone objects may become partially or fully dead.  The collector
+walks the *retained* manifests (the authoritative liveness roots — no
+reliance on client-side refcounts, so it is crash-safe), then:
+
+* deletes containers, chunk objects and file objects referenced by no
+  retained manifest;
+* deletes manifests of dropped sessions;
+* reports per-container utilisation so operators can see fragmentation
+  (rewriting live tails of cold containers is reported, not performed —
+  it would require manifest rewrites, which the paper does not do
+  either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.core import naming
+from repro.core.recipe import Manifest
+
+__all__ = ["GCReport", "collect_garbage"]
+
+
+@dataclass
+class GCReport:
+    """What the collector found and removed."""
+
+    retained_sessions: List[int] = field(default_factory=list)
+    deleted_manifests: int = 0
+    deleted_containers: int = 0
+    deleted_objects: int = 0
+    live_containers: int = 0
+    #: container_id -> live bytes referenced by retained manifests
+    #: (fragmentation visibility; padding/framing excluded).
+    container_live_bytes: Dict[int, int] = field(default_factory=dict)
+
+
+def _session_id_of(manifest_key: str) -> int:
+    # "manifests/session-000003.json" -> 3
+    stem = manifest_key.rsplit("session-", 1)[1]
+    return int(stem.split(".", 1)[0])
+
+
+def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
+    """Drop all sessions except ``retain_sessions`` and sweep dead data.
+
+    ``cloud`` needs ``list/get/delete``.  Returns a :class:`GCReport`.
+    """
+    retain = set(retain_sessions)
+    report = GCReport(retained_sessions=sorted(retain))
+
+    # --- mark: liveness roots from retained manifests -----------------
+    live_containers: Set[int] = set()
+    live_objects: Set[str] = set()
+    for key in cloud.list(naming.MANIFEST_PREFIX):
+        session_id = _session_id_of(key)
+        if session_id not in retain:
+            continue
+        manifest = Manifest.from_json(cloud.get(key))
+        live_containers |= manifest.referenced_containers()
+        live_objects |= manifest.referenced_objects()
+        for entry in manifest:
+            for ref in entry.refs:
+                if ref.in_container:
+                    report.container_live_bytes[ref.container_id] = (
+                        report.container_live_bytes.get(ref.container_id, 0)
+                        + ref.length)
+
+    # --- sweep: manifests of dropped sessions --------------------------
+    for key in cloud.list(naming.MANIFEST_PREFIX):
+        if _session_id_of(key) not in retain:
+            cloud.delete(key)
+            report.deleted_manifests += 1
+
+    # --- sweep: containers ---------------------------------------------
+    for key in cloud.list(naming.CONTAINER_PREFIX):
+        container_id = int(key[len(naming.CONTAINER_PREFIX):])
+        if container_id not in live_containers:
+            cloud.delete(key)
+            report.deleted_containers += 1
+    report.live_containers = len(live_containers)
+
+    # --- sweep: standalone chunk/file objects ---------------------------
+    for prefix in (naming.CHUNK_PREFIX, naming.FILE_PREFIX):
+        for key in cloud.list(prefix):
+            if key not in live_objects:
+                cloud.delete(key)
+                report.deleted_objects += 1
+    return report

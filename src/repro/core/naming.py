@@ -1,0 +1,45 @@
+"""Cloud object key conventions shared by backup, restore, sync and GC."""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["container_key", "chunk_key", "file_key", "manifest_key",
+           "index_key", "MANIFEST_PREFIX", "CONTAINER_PREFIX",
+           "CHUNK_PREFIX", "FILE_PREFIX", "INDEX_PREFIX"]
+
+CONTAINER_PREFIX = "containers/"
+CHUNK_PREFIX = "chunks/"
+FILE_PREFIX = "files/"
+MANIFEST_PREFIX = "manifests/"
+INDEX_PREFIX = "index/"
+
+
+def container_key(container_id: int) -> str:
+    """Key of a sealed container blob."""
+    return f"{CONTAINER_PREFIX}{container_id:010d}"
+
+
+def chunk_key(fingerprint: bytes) -> str:
+    """Key of a directly-uploaded chunk (schemes without containers)."""
+    return f"{CHUNK_PREFIX}{fingerprint.hex()}"
+
+
+def file_key(session_id: int, path: str) -> str:
+    """Key of a whole-file object (incremental / file-granularity schemes).
+
+    The path is hashed so arbitrary client paths map to flat safe keys.
+    """
+    digest = hashlib.sha1(path.encode("utf-8")).hexdigest()
+    return f"{FILE_PREFIX}{session_id:06d}/{digest}"
+
+
+def manifest_key(session_id: int) -> str:
+    """Key of a session manifest."""
+    return f"{MANIFEST_PREFIX}session-{session_id:06d}.json"
+
+
+def index_key(app: str) -> str:
+    """Key of one application subindex replica (periodic sync)."""
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in app)
+    return f"{INDEX_PREFIX}{safe}.idx"

@@ -1,0 +1,168 @@
+"""Scheme configuration: every knob that distinguishes the five schemes.
+
+One :class:`SchemeConfig` fully determines the behaviour of
+:class:`~repro.core.backup.BackupClient`.  AA-Dedupe is the default
+configuration (:func:`aa_dedupe_config`); the baselines in
+:mod:`repro.baselines` are alternative configurations of the *same*
+engine, making the evaluation an apples-to-apples policy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+from repro.classify.filetype import Category
+from repro.classify.policy import AA_POLICY_TABLE, DedupPolicy
+from repro.errors import ConfigError
+from repro.util.units import KIB, MIB
+
+__all__ = ["SchemeConfig", "aa_dedupe_config"]
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Declarative description of one backup scheme."""
+
+    #: Human-readable scheme name (appears in stats and reports).
+    name: str
+
+    #: Files strictly smaller than this bypass deduplication (paper: 10 KB
+    #: — Observation 1).  0 disables the filter.
+    tiny_file_threshold: int = 10 * KIB
+
+    #: Pack tiny files (and unique chunks) into containers before upload.
+    #: When False every unique chunk/file is PUT as its own object.
+    use_containers: bool = True
+
+    #: Container size (paper: ~1 MB) and padding behaviour.
+    container_size: int = 1 * MIB
+    pad_containers: bool = True
+
+    #: Per-category policy table (None ⇒ ``fixed_policy`` applies to all).
+    policy_table: Optional[Mapping[Category, DedupPolicy]] = None
+
+    #: Single policy used for every file when ``policy_table`` is None.
+    fixed_policy: Optional[DedupPolicy] = None
+
+    #: ``"app"`` — one subindex per application label (AA-Dedupe);
+    #: ``"global"`` — one index for everything (traditional);
+    #: ``"tier"`` — one index per chunking method (SAM-style hybrid).
+    index_layout: str = "app"
+
+    #: Pure incremental mode (Jungle Disk): no fingerprint index at all;
+    #: files unchanged since the previous session (size+mtime) are skipped,
+    #: changed files are uploaded whole.
+    incremental_only: bool = False
+
+    #: File-level dedup pass before chunk-level (SAM's first tier): the
+    #: whole file's fingerprint is probed first and chunking only happens
+    #: on a whole-file miss.
+    file_level_first: bool = False
+
+    #: Replicate the chunk index to the cloud every N sessions (0 = never).
+    index_sync_interval: int = 1
+
+    #: Overlap container uploads with deduplication via a worker thread
+    #: (the paper's pipelined design).
+    pipeline_uploads: bool = False
+
+    #: Verify chunk fingerprints during restore.
+    verify_on_restore: bool = True
+
+    #: Parallel per-application deduplication (Observation 2: apps share
+    #: no data, so each can be deduplicated "independently and in
+    #: parallel").  >1 enables a thread pool of that many application
+    #: workers in the real engine; requires a non-incremental scheme.
+    parallel_workers: int = 1
+
+    #: Convergent encryption (secure dedup — the paper's future work):
+    #: chunks are encrypted under content-derived keys before
+    #: fingerprinting/storage, keys are wrapped into the recipes.  The
+    #: client must be given a master key.
+    encrypt_chunks: bool = False
+
+    #: Where the fingerprint index physically lives — a modelling knob
+    #: consumed by the trace engine: ``"ram"`` (hash table with the
+    #: residency model) or ``"fs"`` (a filesystem pool à la BackupPC,
+    #: where every probe/insert costs fixed file-system IOs).
+    index_media: str = "ram"
+
+    def __post_init__(self) -> None:
+        if self.index_layout not in ("app", "global", "tier"):
+            raise ConfigError(f"bad index_layout {self.index_layout!r}")
+        if self.index_media not in ("ram", "fs"):
+            raise ConfigError(f"bad index_media {self.index_media!r}")
+        if self.encrypt_chunks and self.incremental_only:
+            raise ConfigError(
+                "encrypt_chunks requires a dedup scheme, not incremental")
+        if self.parallel_workers < 1:
+            raise ConfigError("parallel_workers must be >= 1")
+        if self.parallel_workers > 1 and self.incremental_only:
+            raise ConfigError(
+                "parallel dedup requires a dedup scheme, not incremental")
+        if self.parallel_workers > 1 and self.file_level_first:
+            raise ConfigError(
+                "parallel dedup is incompatible with file_level_first")
+        if self.parallel_workers > 1 and self.index_layout != "app":
+            raise ConfigError(
+                "parallel dedup requires the application-aware index "
+                "layout (workers must own disjoint subindices)")
+        if not self.incremental_only:
+            if (self.policy_table is None) == (self.fixed_policy is None):
+                raise ConfigError(
+                    "exactly one of policy_table/fixed_policy required")
+        if self.tiny_file_threshold < 0:
+            raise ConfigError("tiny_file_threshold must be >= 0")
+        if self.use_containers and self.container_size < 4096:
+            raise ConfigError("container_size too small")
+
+    # ------------------------------------------------------------------
+    def policy_for(self, category: Category) -> DedupPolicy:
+        """Resolve the dedup policy for a file category."""
+        if self.policy_table is not None:
+            try:
+                return self.policy_table[category]
+            except KeyError:
+                raise ConfigError(
+                    f"policy table lacks category {category}") from None
+        assert self.fixed_policy is not None
+        return self.fixed_policy
+
+    def index_namespace(self, app_label: str, policy: DedupPolicy) -> str:
+        """Subindex key for a chunk of application ``app_label``.
+
+        This is where the application-aware index structure lives: the
+        ``"app"`` layout gives each file type its own small index, the
+        ``"global"`` layout collapses everything into one, and ``"tier"``
+        groups by chunking method (file-level vs chunk-level tiers).
+        """
+        if self.index_layout == "app":
+            return app_label
+        if self.index_layout == "tier":
+            return policy.chunker
+        return "global"
+
+    def with_(self, **changes) -> "SchemeConfig":
+        """Return a modified copy (convenience for ablation sweeps)."""
+        return replace(self, **changes)
+
+
+def aa_dedupe_config(**overrides) -> SchemeConfig:
+    """The AA-Dedupe scheme exactly as the paper configures it.
+
+    10 KB tiny-file filter, per-category intelligent chunking with
+    adaptive hashing (Fig. 6), application-aware index, 1 MB padded
+    containers, index sync every session.
+    """
+    base = dict(
+        name="AA-Dedupe",
+        tiny_file_threshold=10 * KIB,
+        use_containers=True,
+        container_size=1 * MIB,
+        policy_table=AA_POLICY_TABLE,
+        index_layout="app",
+        index_sync_interval=1,
+    )
+    base.update(overrides)
+    return SchemeConfig(**base)

@@ -1,0 +1,72 @@
+"""Retention policies: which backup sessions to keep.
+
+The garbage collector (:mod:`repro.core.gc`) takes an explicit retain
+set; these helpers compute that set from operator-friendly policies —
+the glue a deployable backup tool needs around "supporting deletion of
+files" (paper Sec. III-F).
+
+Two policies are provided:
+
+* :func:`keep_last` — the simplest rolling window;
+* :class:`GFSPolicy` — grandfather-father-son: keep the last *d* daily,
+  *w* weekly and *m* monthly sessions, the standard backup rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set
+
+__all__ = ["keep_last", "GFSPolicy"]
+
+_DAY = 86_400.0
+
+
+def keep_last(session_ids: Iterable[int], count: int) -> Set[int]:
+    """Retain the ``count`` most recent session ids.
+
+    ``count <= 0`` retains nothing (drop-everything is an explicit
+    choice the caller must make; GC will then sweep the whole store).
+    """
+    if count <= 0:
+        return set()
+    ordered = sorted(session_ids)
+    return set(ordered[-count:])
+
+
+@dataclass(frozen=True)
+class GFSPolicy:
+    """Grandfather-father-son rotation.
+
+    ``apply`` selects, from ``(session_id, created_ts)`` pairs:
+
+    * the newest session of each of the last ``daily`` days,
+    * the newest session of each of the last ``weekly`` weeks,
+    * the newest session of each of the last ``monthly`` ~30-day months,
+
+    all relative to the newest session's timestamp.  A session retained
+    by any tier is retained.
+    """
+
+    daily: int = 7
+    weekly: int = 4
+    monthly: int = 6
+
+    def apply(self, sessions: Dict[int, float]) -> Set[int]:
+        """Return the retain set for ``{session_id: created_ts}``."""
+        if not sessions:
+            return set()
+        newest = max(sessions.values())
+        retain: Set[int] = set()
+        tiers = ((self.daily, _DAY), (self.weekly, 7 * _DAY),
+                 (self.monthly, 30 * _DAY))
+        for count, period in tiers:
+            for slot in range(count):
+                window_end = newest - slot * period
+                window_start = window_end - period
+                candidates = [sid for sid, ts in sessions.items()
+                              if window_start < ts <= window_end]
+                if candidates:
+                    retain.add(max(
+                        candidates, key=lambda sid: (sessions[sid], sid)))
+        return retain

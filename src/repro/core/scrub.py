@@ -1,0 +1,123 @@
+"""Cloud scrubbing: verify every stored byte without restoring.
+
+A deployable backup tool must be able to answer "is my cloud copy still
+good?" cheaply.  The scrubber walks the store and validates:
+
+* every **container** parses, passes its CRC, and each described extent
+  re-hashes to its descriptor fingerprint (the digest width selects the
+  hash, as on restore);
+* every **manifest** parses and references only extents that exist
+  (container descriptors or standalone objects);
+* every **index replica** parses into valid entries.
+
+Returns a :class:`ScrubReport`; nothing is modified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.container.format import ContainerReader
+from repro.core import naming
+from repro.core.recipe import Manifest
+from repro.errors import ContainerFormatError, ReproError
+from repro.hashing.base import get_hash
+from repro.index.base import IndexEntry
+
+__all__ = ["ScrubReport", "scrub_cloud"]
+
+_HASH_BY_LEN = {12: "rabin12", 16: "md5", 20: "sha1"}
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one scrub pass."""
+
+    containers_checked: int = 0
+    extents_verified: int = 0
+    manifests_checked: int = 0
+    refs_resolved: int = 0
+    index_replicas_checked: int = 0
+    #: Human-readable problem descriptions; empty means a clean store.
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no problem was found."""
+        return not self.problems
+
+
+def scrub_cloud(cloud, verify_extents: bool = True) -> ScrubReport:
+    """Validate all containers, manifests and index replicas in ``cloud``."""
+    report = ScrubReport()
+
+    # --- containers ------------------------------------------------------
+    known_fingerprints = set()
+    for key in cloud.list(naming.CONTAINER_PREFIX):
+        try:
+            reader = ContainerReader(cloud.get(key))
+        except (ContainerFormatError, ReproError) as exc:
+            report.problems.append(f"{key}: {exc}")
+            continue
+        report.containers_checked += 1
+        for desc in reader.descriptors:
+            known_fingerprints.add(desc.fingerprint)
+            if not verify_extents:
+                continue
+            hash_name = _HASH_BY_LEN.get(len(desc.fingerprint))
+            if hash_name is None:
+                continue
+            data = reader.extent(desc)
+            if get_hash(hash_name).hash(data) != desc.fingerprint:
+                report.problems.append(
+                    f"{key}: extent fingerprint mismatch at "
+                    f"offset {desc.offset}")
+            else:
+                report.extents_verified += 1
+
+    object_keys = set(cloud.list(naming.CHUNK_PREFIX)) \
+        | set(cloud.list(naming.FILE_PREFIX))
+
+    # --- manifests ---------------------------------------------------------
+    containers_present = {
+        int(k[len(naming.CONTAINER_PREFIX):])
+        for k in cloud.list(naming.CONTAINER_PREFIX)}
+    for key in cloud.list(naming.MANIFEST_PREFIX):
+        try:
+            manifest = Manifest.from_json(cloud.get(key))
+        except (ReproError, ValueError) as exc:
+            report.problems.append(f"{key}: {exc}")
+            continue
+        report.manifests_checked += 1
+        for entry in manifest:
+            for ref in entry.refs:
+                if ref.in_container:
+                    if ref.container_id not in containers_present:
+                        report.problems.append(
+                            f"{key}: {entry.path} references missing "
+                            f"container {ref.container_id}")
+                        continue
+                elif ref.object_key not in object_keys:
+                    report.problems.append(
+                        f"{key}: {entry.path} references missing object "
+                        f"{ref.object_key}")
+                    continue
+                report.refs_resolved += 1
+
+    # --- index replicas ---------------------------------------------------
+    record = IndexEntry.RECORD_SIZE
+    for key in cloud.list(naming.INDEX_PREFIX):
+        blob = cloud.get(key)
+        if len(blob) % record:
+            report.problems.append(f"{key}: truncated index replica")
+            continue
+        try:
+            for pos in range(0, len(blob), record):
+                IndexEntry.unpack(blob[pos:pos + record])
+        except ReproError as exc:
+            report.problems.append(f"{key}: {exc}")
+            continue
+        report.index_replicas_checked += 1
+
+    return report

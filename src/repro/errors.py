@@ -1,0 +1,81 @@
+"""Exception hierarchy for the AA-Dedupe reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing subsystems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "ChunkingError",
+    "HashError",
+    "IndexError_",
+    "ContainerError",
+    "ContainerFormatError",
+    "CloudError",
+    "ObjectNotFound",
+    "BackupError",
+    "RestoreError",
+    "IntegrityError",
+    "WorkloadError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object contains invalid values."""
+
+
+class ChunkingError(ReproError):
+    """Raised when a chunker is misconfigured or fed invalid input."""
+
+
+class HashError(ReproError):
+    """Raised for unknown hash names or invalid hash parameters."""
+
+
+class IndexError_(ReproError):
+    """Raised by chunk-index implementations (name avoids the builtin)."""
+
+
+class ContainerError(ReproError):
+    """Raised by the container manager for invalid operations."""
+
+
+class ContainerFormatError(ContainerError):
+    """Raised when container bytes fail to parse or fail CRC validation."""
+
+
+class CloudError(ReproError):
+    """Raised by cloud storage backends."""
+
+
+class ObjectNotFound(CloudError, KeyError):
+    """Raised when a requested cloud object key does not exist."""
+
+
+class BackupError(ReproError):
+    """Raised when a backup session cannot be completed."""
+
+
+class RestoreError(ReproError):
+    """Raised when a restore cannot be completed."""
+
+
+class IntegrityError(RestoreError):
+    """Raised when restored data fails fingerprint/CRC verification."""
+
+
+class WorkloadError(ReproError):
+    """Raised by the synthetic workload generators."""
+
+
+class SimulationError(ReproError):
+    """Raised by the virtual-time simulation substrate."""

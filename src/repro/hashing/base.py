@@ -1,0 +1,76 @@
+"""Fingerprinter interface and name registry.
+
+A *fingerprinter* maps a chunk's bytes to a short digest used as its
+identity in the chunk index.  The registry lets scheme policies refer to
+hashes by name (``"rabin12"``, ``"md5"``, ``"sha1"``), which is how the
+application-aware policy table (paper Fig. 6) is expressed in
+:mod:`repro.classify.policy`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+from repro.errors import HashError
+
+__all__ = ["Fingerprinter", "register_hash", "get_hash", "available_hashes"]
+
+
+class Fingerprinter(abc.ABC):
+    """Abstract chunk fingerprint function.
+
+    Subclasses must set :attr:`name` and :attr:`digest_size` (bytes) and
+    implement :meth:`hash`.  Instances are stateless and safe to share
+    across threads.
+    """
+
+    #: Registry name, e.g. ``"md5"``.
+    name: str = ""
+    #: Digest length in bytes (12 for extended Rabin, 16 MD5, 20 SHA-1).
+    digest_size: int = 0
+
+    @abc.abstractmethod
+    def hash(self, data: bytes) -> bytes:
+        """Return the ``digest_size``-byte fingerprint of ``data``."""
+
+    @property
+    def bits(self) -> int:
+        """Digest width in bits."""
+        return self.digest_size * 8
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} bits={self.bits}>"
+
+
+_REGISTRY: Dict[str, Callable[[], Fingerprinter]] = {}
+_INSTANCES: Dict[str, Fingerprinter] = {}
+
+
+def register_hash(name: str, factory: Callable[[], Fingerprinter]) -> None:
+    """Register a fingerprinter factory under ``name``.
+
+    Used by the concrete modules at import time; downstream users may also
+    register custom hashes (e.g. a BLAKE wrapper) to extend the policy
+    table without touching library code.
+    """
+    if name in _REGISTRY:
+        raise HashError(f"hash {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_hash(name: str) -> Fingerprinter:
+    """Return the (cached, shared) fingerprinter registered as ``name``."""
+    try:
+        inst = _INSTANCES.get(name)
+        if inst is None:
+            inst = _INSTANCES[name] = _REGISTRY[name]()
+        return inst
+    except KeyError:
+        raise HashError(
+            f"unknown hash {name!r}; available: {sorted(_REGISTRY)}") from None
+
+
+def available_hashes() -> list[str]:
+    """Names of all registered fingerprinters, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,42 @@
+"""Cryptographic fingerprinters: MD5 (16 B) and SHA-1 (20 B).
+
+AA-Dedupe uses MD5 for SC chunks of static files and SHA-1 for CDC chunks
+of dynamic files (paper Sec. III-D); the baselines Avamar and SAM use
+SHA-1 throughout.  Wrappers delegate to :mod:`hashlib` (OpenSSL), so the
+real engine is fast; the *modelled* cost of each hash on the paper's
+2.53 GHz laptop lives in :mod:`repro.simulate.cpumodel`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.hashing.base import Fingerprinter, register_hash
+
+__all__ = ["MD5Fingerprinter", "SHA1Fingerprinter"]
+
+
+class MD5Fingerprinter(Fingerprinter):
+    """16-byte MD5 digest — the SC fingerprint for static uncompressed files."""
+
+    name = "md5"
+    digest_size = 16
+
+    def hash(self, data: bytes) -> bytes:
+        """Return ``md5(data)`` (16 bytes)."""
+        return hashlib.md5(data).digest()
+
+
+class SHA1Fingerprinter(Fingerprinter):
+    """20-byte SHA-1 digest — the CDC fingerprint for dynamic files."""
+
+    name = "sha1"
+    digest_size = 20
+
+    def hash(self, data: bytes) -> bytes:
+        """Return ``sha1(data)`` (20 bytes)."""
+        return hashlib.sha1(data).digest()
+
+
+register_hash("md5", MD5Fingerprinter)
+register_hash("sha1", SHA1Fingerprinter)

@@ -1,0 +1,36 @@
+"""Chunk-index substrate.
+
+A chunk index maps fingerprints to chunk locations (container id, offset,
+length).  The paper's performance argument revolves around index
+*residency*: a single global index for a TB-scale dataset spills to disk
+and every lookup risks a seek (the DDFS "disk bottleneck"), while
+AA-Dedupe's per-application small indices stay RAM-resident.
+
+Implementations:
+
+* :class:`~repro.index.memory.MemoryIndex` — plain dict, RAM only;
+* :class:`~repro.index.disk.DiskIndex` — persistent memtable + sorted-run
+  (mini-LSM) index with per-run Bloom filters and IO accounting;
+* :class:`~repro.index.appaware.AppAwareIndex` — the paper's structure:
+  one subindex per application label, with optional parallel batch lookup.
+"""
+
+from repro.index.base import ChunkIndex, IndexEntry, IndexStats
+from repro.index.memory import MemoryIndex
+from repro.index.bloom import BloomFilter
+from repro.index.disk import DiskIndex
+from repro.index.cache import LRUCache
+from repro.index.appaware import AppAwareIndex
+from repro.index.sparse import SparseIndexDeduper
+
+__all__ = [
+    "ChunkIndex",
+    "IndexEntry",
+    "IndexStats",
+    "MemoryIndex",
+    "BloomFilter",
+    "DiskIndex",
+    "LRUCache",
+    "AppAwareIndex",
+    "SparseIndexDeduper",
+]

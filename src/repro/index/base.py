@@ -1,0 +1,124 @@
+"""Chunk-index interface and entry/statistics records."""
+
+from __future__ import annotations
+
+import abc
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import IndexError_
+
+__all__ = ["IndexEntry", "IndexStats", "ChunkIndex"]
+
+#: Maximum fingerprint width we store (SHA-1 = 20 bytes).
+MAX_FP_LEN = 20
+
+_ENTRY_STRUCT = struct.Struct(">B20sQQII")  # fp_len, fp(padded), cid, off, len, refs
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Location record for one stored chunk.
+
+    ``container_id``/``offset`` locate the chunk inside the container
+    store (paper Sec. III-F); ``refcount`` supports deletion/GC.
+    """
+
+    fingerprint: bytes
+    container_id: int
+    offset: int
+    length: int
+    refcount: int = 1
+
+    def __post_init__(self) -> None:
+        if not (1 <= len(self.fingerprint) <= MAX_FP_LEN):
+            raise IndexError_(
+                f"fingerprint length {len(self.fingerprint)} out of range")
+        if self.length < 0 or self.offset < 0 or self.container_id < 0:
+            raise IndexError_("negative field in index entry")
+
+    # -- fixed-width binary codec (used by the on-disk index runs) -----
+    RECORD_SIZE = _ENTRY_STRUCT.size
+
+    def pack(self) -> bytes:
+        """Serialise to the fixed :attr:`RECORD_SIZE`-byte record."""
+        fp = self.fingerprint.ljust(MAX_FP_LEN, b"\0")
+        return _ENTRY_STRUCT.pack(len(self.fingerprint), fp,
+                                  self.container_id, self.offset,
+                                  self.length, self.refcount)
+
+    @classmethod
+    def unpack(cls, record: bytes) -> "IndexEntry":
+        """Inverse of :meth:`pack`."""
+        fp_len, fp, cid, off, length, refs = _ENTRY_STRUCT.unpack(record)
+        return cls(fingerprint=fp[:fp_len], container_id=cid, offset=off,
+                   length=length, refcount=refs)
+
+    def bumped(self, delta: int = 1) -> "IndexEntry":
+        """Copy with ``refcount`` adjusted by ``delta``."""
+        return IndexEntry(self.fingerprint, self.container_id, self.offset,
+                          self.length, self.refcount + delta)
+
+
+@dataclass
+class IndexStats:
+    """Lookup/insert accounting, consumed by the throughput cost model."""
+
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    #: Lookups served without touching disk (memtable/cache/Bloom-negative).
+    memory_hits: int = 0
+    #: Disk probes issued (each is a potential seek in the disk model).
+    disk_probes: int = 0
+    #: Bytes read from disk runs.
+    disk_bytes: int = 0
+
+    def merge(self, other: "IndexStats") -> None:
+        """Accumulate ``other`` into ``self`` (used by composite indices)."""
+        self.lookups += other.lookups
+        self.hits += other.hits
+        self.inserts += other.inserts
+        self.memory_hits += other.memory_hits
+        self.disk_probes += other.disk_probes
+        self.disk_bytes += other.disk_bytes
+
+
+class ChunkIndex(abc.ABC):
+    """Abstract fingerprint → :class:`IndexEntry` map."""
+
+    def __init__(self) -> None:
+        #: Running counters; reset by the caller between sessions.
+        self.stats = IndexStats()
+
+    @abc.abstractmethod
+    def lookup(self, fingerprint: bytes) -> Optional[IndexEntry]:
+        """Return the entry for ``fingerprint`` or ``None``."""
+
+    @abc.abstractmethod
+    def insert(self, entry: IndexEntry) -> None:
+        """Insert ``entry``; replaces any previous entry for the same
+        fingerprint (last-writer-wins, used by refcount updates)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of distinct fingerprints indexed."""
+
+    @abc.abstractmethod
+    def entries(self) -> Iterator[IndexEntry]:
+        """Iterate all current entries (order unspecified)."""
+
+    def contains(self, fingerprint: bytes) -> bool:
+        """Membership test (counts as a lookup for statistics)."""
+        return self.lookup(fingerprint) is not None
+
+    def flush(self) -> None:
+        """Persist buffered state (no-op for pure-memory indices)."""
+
+    def close(self) -> None:
+        """Release resources; the index must not be used afterwards."""
+
+    def approximate_bytes(self) -> int:
+        """Rough in-memory footprint — drives the RAM-residency model."""
+        return len(self) * IndexEntry.RECORD_SIZE

@@ -1,0 +1,96 @@
+"""Bloom filter over fingerprints.
+
+Used by :class:`repro.index.disk.DiskIndex` to skip on-disk runs that
+cannot contain a fingerprint — the summary-vector technique DDFS [Zhu08]
+introduced to fight the disk index bottleneck the paper discusses.  The
+bit array is a NumPy vector; the *k* probe positions are sliced from a
+BLAKE2b digest of the fingerprint so no extra hashing infrastructure is
+needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Fixed-capacity Bloom filter with a target false-positive rate.
+
+    >>> bf = BloomFilter(capacity=1000, fp_rate=0.01)
+    >>> bf.add(b"abc"); bf.might_contain(b"abc")
+    True
+    """
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not (0.0 < fp_rate < 1.0):
+            raise ValueError("fp_rate must be in (0, 1)")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        # Standard sizing: m = -n ln p / (ln 2)^2,  k = (m/n) ln 2.
+        m = max(8, int(math.ceil(-capacity * math.log(fp_rate)
+                                 / (math.log(2) ** 2))))
+        self.num_bits = m
+        self.num_hashes = max(1, int(round((m / capacity) * math.log(2))))
+        self._bits = np.zeros((m + 7) // 8, dtype=np.uint8)
+        self.count = 0
+
+    def _positions(self, item: bytes) -> np.ndarray:
+        """Derive ``num_hashes`` bit positions from a BLAKE2b digest."""
+        need = self.num_hashes * 8
+        digest = hashlib.blake2b(item, digest_size=min(64, need)).digest()
+        while len(digest) < need:  # only for very large k
+            digest += hashlib.blake2b(digest, digest_size=64).digest()
+        words = np.frombuffer(digest[:need], dtype=">u8").astype(np.uint64)
+        return (words % np.uint64(self.num_bits)).astype(np.int64)
+
+    def add(self, item: bytes) -> None:
+        """Insert ``item``."""
+        pos = self._positions(item)
+        np.bitwise_or.at(self._bits, pos >> 3,
+                         (1 << (pos & 7)).astype(np.uint8))
+        self.count += 1
+
+    def might_contain(self, item: bytes) -> bool:
+        """False ⇒ definitely absent; True ⇒ present or false positive."""
+        pos = self._positions(item)
+        bits = self._bits[pos >> 3] >> (pos & 7).astype(np.uint8)
+        return bool(np.all(bits & 1))
+
+    def expected_fp_rate(self) -> float:
+        """Current theoretical false-positive rate given fill level."""
+        if self.count == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.num_hashes * self.count / self.num_bits)
+        return fill ** self.num_hashes
+
+    # -- serialisation (stored alongside each on-disk run) -------------
+    def to_bytes(self) -> bytes:
+        """Serialise (header + bit array)."""
+        header = (self.capacity.to_bytes(8, "big")
+                  + int(self.num_bits).to_bytes(8, "big")
+                  + self.num_hashes.to_bytes(2, "big")
+                  + self.count.to_bytes(8, "big"))
+        return header + self._bits.tobytes()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "BloomFilter":
+        """Inverse of :meth:`to_bytes`."""
+        capacity = int.from_bytes(blob[0:8], "big")
+        num_bits = int.from_bytes(blob[8:16], "big")
+        num_hashes = int.from_bytes(blob[16:18], "big")
+        count = int.from_bytes(blob[18:26], "big")
+        bf = cls.__new__(cls)
+        bf.capacity = capacity
+        bf.fp_rate = 0.0  # unknown after round-trip; sizing already fixed
+        bf.num_bits = num_bits
+        bf.num_hashes = num_hashes
+        bf.count = count
+        bf._bits = np.frombuffer(blob[26:], dtype=np.uint8).copy()
+        return bf

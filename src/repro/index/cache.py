@@ -1,0 +1,88 @@
+"""LRU fingerprint cache wrapper.
+
+Models — and implements — the RAM cache that sits in front of a large
+on-disk index.  Wrapping a :class:`~repro.index.disk.DiskIndex` in an
+:class:`LRUCache` reproduces the classic dedup behaviour: hot
+fingerprints hit RAM, cold ones pay a disk probe.  Hit/miss counts feed
+the throughput model; the ablation benchmark sweeps ``capacity`` to show
+the cliff the application-aware index avoids.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.index.base import ChunkIndex, IndexEntry
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(ChunkIndex):
+    """Bounded LRU cache in front of a backing :class:`ChunkIndex`.
+
+    Negative lookups are *not* cached (a dedup workload is insert-heavy:
+    a miss is immediately followed by an insert of the same key, which
+    populates the cache).
+    """
+
+    def __init__(self, backing: ChunkIndex, capacity: int) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.backing = backing
+        self.capacity = capacity
+        self._lru: OrderedDict[bytes, IndexEntry] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _remember(self, entry: IndexEntry) -> None:
+        self._lru[entry.fingerprint] = entry
+        self._lru.move_to_end(entry.fingerprint)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+
+    def lookup(self, fingerprint: bytes) -> Optional[IndexEntry]:
+        """Cache first; fall through to the backing index on miss."""
+        self.stats.lookups += 1
+        entry = self._lru.get(fingerprint)
+        if entry is not None:
+            self._lru.move_to_end(fingerprint)
+            self.cache_hits += 1
+            self.stats.memory_hits += 1
+            self.stats.hits += 1
+            return entry
+        self.cache_misses += 1
+        entry = self.backing.lookup(fingerprint)
+        if entry is not None:
+            self.stats.hits += 1
+            self._remember(entry)
+        return entry
+
+    def insert(self, entry: IndexEntry) -> None:
+        """Write-through insert (backing index stays authoritative)."""
+        self.stats.inserts += 1
+        self.backing.insert(entry)
+        self._remember(entry)
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def entries(self) -> Iterator[IndexEntry]:
+        """Delegate to the backing index."""
+        return self.backing.entries()
+
+    def flush(self) -> None:
+        """Flush the backing index."""
+        self.backing.flush()
+
+    def close(self) -> None:
+        """Close the backing index and drop the cache."""
+        self.backing.close()
+        self._lru.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0

@@ -1,0 +1,142 @@
+"""Sparse Indexing — the competing answer to the index bottleneck.
+
+The paper's related work contrasts AA-Dedupe's small exact per-app
+indices with *Sparse Indexing* (Lillibridge et al., FAST'09 — the
+paper's reference [20]), which bounds RAM by **sampling**: only every
+``1/2^sample_bits``-th fingerprint (a *hook*) is indexed, mapping to the
+segments it appeared in.  An incoming segment is deduplicated only
+against a few *champion* segments sharing its hooks; duplicates outside
+the champions are missed (approximate dedup), but the RAM footprint is
+tiny and each segment costs at most ``max_champions`` sequential
+manifest loads instead of per-chunk random IOs.
+
+:class:`SparseIndexDeduper` implements the algorithm over ``(chunk_id,
+length)`` streams so the trace layer can compare it head-to-head with
+exact indexing (see ``benchmarks/test_bench_sparse_index.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+__all__ = ["SparseIndexDeduper", "SparseStats"]
+
+
+@dataclass
+class SparseStats:
+    """Accounting for one sparse-index run."""
+
+    chunks_total: int = 0
+    bytes_total: int = 0
+    chunks_deduped: int = 0
+    bytes_deduped: int = 0
+    bytes_unique: int = 0
+    segments_processed: int = 0
+    champions_loaded: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Achieved DR (≥ 1; lower than exact dedup's by the miss rate)."""
+        if self.bytes_unique <= 0:
+            return 1.0 if self.bytes_total == 0 else float("inf")
+        return self.bytes_total / self.bytes_unique
+
+
+class SparseIndexDeduper:
+    """Segment-based approximate deduplication with a sampled RAM index.
+
+    ``segment_chunks`` chunks form one segment (FAST'09 uses ~10 MB
+    segments); fingerprints whose low ``sample_bits`` bits are zero are
+    hooks; at most ``max_champions`` champion segments are consulted per
+    incoming segment, ranked by hook overlap.
+    """
+
+    def __init__(self, segment_chunks: int = 1024, sample_bits: int = 6,
+                 max_champions: int = 4,
+                 max_segments_per_hook: int = 8) -> None:
+        if segment_chunks < 1 or sample_bits < 0 or max_champions < 1:
+            raise ValueError("invalid sparse-index parameters")
+        self.segment_chunks = segment_chunks
+        self.sample_mask = (1 << sample_bits) - 1
+        self.max_champions = max_champions
+        self.max_segments_per_hook = max_segments_per_hook
+        #: hook fingerprint -> segment ids containing it (RAM).
+        self._sparse: Dict[int, List[int]] = {}
+        #: segment id -> chunk id set ("on-disk" segment manifests).
+        self._manifests: Dict[int, Set[int]] = {}
+        self._next_segment = 0
+        self._buffer: List[Tuple[int, int]] = []
+        self.stats = SparseStats()
+
+    # ------------------------------------------------------------------
+    def _is_hook(self, chunk_id: int) -> bool:
+        return (chunk_id & self.sample_mask) == 0
+
+    def _champions(self, hooks: List[int]) -> List[int]:
+        votes: Dict[int, int] = {}
+        for hook in hooks:
+            for segment in self._sparse.get(hook, ()):
+                votes[segment] = votes.get(segment, 0) + 1
+        ranked = sorted(votes, key=lambda s: (-votes[s], -s))
+        return ranked[: self.max_champions]
+
+    def _flush_segment(self) -> None:
+        if not self._buffer:
+            return
+        segment = self._buffer
+        self._buffer = []
+        self.stats.segments_processed += 1
+        hooks = [cid for cid, _l in segment if self._is_hook(cid)]
+        champions = self._champions(hooks)
+        self.stats.champions_loaded += len(champions)
+        known: Set[int] = set()
+        for champ in champions:
+            known |= self._manifests[champ]
+
+        segment_id = self._next_segment
+        self._next_segment += 1
+        manifest: Set[int] = set()
+        for chunk_id, length in segment:
+            if chunk_id in known or chunk_id in manifest:
+                self.stats.chunks_deduped += 1
+                self.stats.bytes_deduped += length
+            else:
+                self.stats.bytes_unique += length
+            manifest.add(chunk_id)
+        self._manifests[segment_id] = manifest
+        for hook in hooks:
+            entries = self._sparse.setdefault(hook, [])
+            if len(entries) < self.max_segments_per_hook:
+                entries.append(segment_id)
+            else:  # evict oldest mapping (FIFO, as in the paper)
+                entries.pop(0)
+                entries.append(segment_id)
+
+    # ------------------------------------------------------------------
+    def push(self, chunk_id: int, length: int) -> None:
+        """Feed one chunk of the backup stream."""
+        self.stats.chunks_total += 1
+        self.stats.bytes_total += length
+        self._buffer.append((chunk_id, length))
+        if len(self._buffer) >= self.segment_chunks:
+            self._flush_segment()
+
+    def push_stream(self, chunks: Iterable[Tuple[int, int]]) -> None:
+        """Feed a whole stream of ``(chunk_id, length)``."""
+        for chunk_id, length in chunks:
+            self.push(chunk_id, length)
+
+    def finish(self) -> SparseStats:
+        """Flush the partial trailing segment and return the stats."""
+        self._flush_segment()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def ram_entries(self) -> int:
+        """Sampled (hook) entries held in RAM — the footprint argument."""
+        return sum(len(v) for v in self._sparse.values())
+
+    def manifest_entries(self) -> int:
+        """Total chunk ids across on-disk segment manifests."""
+        return sum(len(m) for m in self._manifests.values())

@@ -1,0 +1,27 @@
+"""Evaluation metrics: the paper's Sec. IV quantities as functions.
+
+* :mod:`repro.metrics.dedup` — dedup ratio DR and the paper's new metric
+  *bytes saved per second* (deduplication efficiency DE);
+* :mod:`repro.metrics.window` — backup window BWS;
+* :mod:`repro.metrics.cost` — cloud cost CC;
+* :mod:`repro.metrics.energy` — session energy;
+* :mod:`repro.metrics.report` — fixed-width text tables for the bench
+  harness output.
+"""
+
+from repro.metrics.dedup import dedup_ratio, bytes_saved_per_second, dedup_efficiency
+from repro.metrics.window import backup_window_seconds
+from repro.metrics.cost import cloud_cost, CostBreakdown
+from repro.metrics.energy import session_energy_joules
+from repro.metrics.report import Table
+
+__all__ = [
+    "dedup_ratio",
+    "bytes_saved_per_second",
+    "dedup_efficiency",
+    "backup_window_seconds",
+    "cloud_cost",
+    "CostBreakdown",
+    "session_energy_joules",
+    "Table",
+]

@@ -1,0 +1,41 @@
+"""Cloud cost metric (paper Sec. IV-E).
+
+``CC = DS/DR · (SP + TP) + OC · OP`` with April-2011 Amazon S3 prices.
+:func:`cloud_cost` evaluates it from observed byte/request totals and
+returns a :class:`CostBreakdown` so benches can show where the money
+goes (the request-cost column is what container aggregation wins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.pricing import PriceBook, S3_APRIL_2011
+
+__all__ = ["CostBreakdown", "cloud_cost"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Monthly bill split into the three S3 components (USD)."""
+
+    storage: float
+    transfer: float
+    requests: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.storage + self.transfer + self.requests
+
+
+def cloud_cost(stored_bytes: float, uploaded_bytes: float,
+               put_requests: int,
+               prices: PriceBook = S3_APRIL_2011,
+               months: float = 1.0) -> CostBreakdown:
+    """The paper's CC as a component breakdown."""
+    return CostBreakdown(
+        storage=prices.storage_cost(stored_bytes, months),
+        transfer=prices.transfer_cost(uploaded_bytes),
+        requests=prices.request_cost(put_requests),
+    )

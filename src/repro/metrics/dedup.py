@@ -1,0 +1,35 @@
+"""Deduplication effectiveness and efficiency metrics.
+
+The paper's contribution metric (Sec. IV-B): **bytes saved per second**::
+
+    DE = SC / DT_time = (1 - 1/DR) · DT
+
+where SC is saved capacity, DR the dedup ratio, DT the dedup throughput.
+Both formulations are provided and property-tested for equivalence.
+"""
+
+from __future__ import annotations
+
+__all__ = ["dedup_ratio", "bytes_saved_per_second", "dedup_efficiency"]
+
+
+def dedup_ratio(bytes_before: float, bytes_after: float) -> float:
+    """DR: logical bytes over stored bytes (≥ 1 for any dedup)."""
+    if bytes_after <= 0:
+        return float("inf") if bytes_before > 0 else 1.0
+    return bytes_before / bytes_after
+
+
+def bytes_saved_per_second(bytes_before: float, bytes_after: float,
+                           dedup_seconds: float) -> float:
+    """DE by its definition: saved capacity per second of dedup time."""
+    if dedup_seconds <= 0:
+        return float("inf") if bytes_before > bytes_after else 0.0
+    return (bytes_before - bytes_after) / dedup_seconds
+
+
+def dedup_efficiency(dr: float, throughput: float) -> float:
+    """DE by the paper's closed form ``(1 − 1/DR) · DT``."""
+    if dr <= 0:
+        raise ValueError("dedup ratio must be positive")
+    return (1.0 - 1.0 / dr) * throughput

@@ -1,0 +1,24 @@
+"""Energy metric (paper Sec. IV-F, Fig. 11)."""
+
+from __future__ import annotations
+
+from repro.simulate.powermodel import PAPER_POWER, PowerModel
+
+__all__ = ["session_energy_joules"]
+
+
+def session_energy_joules(dedup_seconds: float,
+                          transfer_seconds: float = 0.0,
+                          power: PowerModel = PAPER_POWER,
+                          pipelined: bool = True,
+                          dedup_only: bool = True) -> float:
+    """Energy of a backup session.
+
+    With ``dedup_only=True`` (the paper's Fig. 11 methodology — power is
+    metered "during the deduplication process") only the dedup phase is
+    charged; otherwise the full pipelined session is integrated.
+    """
+    if dedup_only:
+        return power.dedup_energy_joules(dedup_seconds)
+    return power.session_energy_joules(dedup_seconds, transfer_seconds,
+                                       pipelined=pipelined)

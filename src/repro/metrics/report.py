@@ -1,0 +1,74 @@
+"""Fixed-width text tables for bench output.
+
+The benchmark harness regenerates each paper table/figure as text; this
+tiny formatter keeps the output aligned and diff-friendly without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Accumulate rows, render with aligned columns.
+
+    >>> t = Table(["scheme", "DR"])
+    >>> t.add_row(["AA-Dedupe", 27.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    scheme     |    DR
+    -----------+------
+    AA-Dedupe  | 27.50
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "nan"
+            if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+                return f"{value:.3g}"
+            return f"{value:.2f}"
+        return str(value)
+
+    def add_row(self, values: Iterable) -> None:
+        """Append one row (values are formatted on render)."""
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError("row width != header width")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as aligned text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt_row(cells, align_left_first=True):
+            parts = []
+            for i, cell in enumerate(cells):
+                if i == 0:
+                    parts.append(cell.ljust(widths[i] + 1))
+                else:
+                    parts.append(cell.rjust(widths[i]))
+            return " | ".join(parts).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append("-+-".join("-" * (w + (1 if i == 0 else 0))
+                                for i, w in enumerate(widths)))
+        for row in self.rows:
+            lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

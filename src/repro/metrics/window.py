@@ -1,0 +1,28 @@
+"""Backup window metric (paper Sec. IV-D).
+
+``BWS = DS · max(1/DT, 1/(DR·NT))`` — with the pipelined engine the
+window is governed by the slower of deduplication and WAN transfer.
+"""
+
+from __future__ import annotations
+
+__all__ = ["backup_window_seconds"]
+
+
+def backup_window_seconds(dataset_bytes: float,
+                          dedup_throughput: float,
+                          dedup_ratio: float,
+                          network_throughput: float,
+                          pipelined: bool = True) -> float:
+    """Evaluate the paper's BWS expression from rates.
+
+    ``network_throughput`` (NT) is upload bytes/second; ``dedup_ratio``
+    reduces the transferred volume to ``DS/DR``.
+    """
+    if dedup_throughput <= 0 or network_throughput <= 0 or dedup_ratio <= 0:
+        raise ValueError("rates must be positive")
+    dedup_time = dataset_bytes / dedup_throughput
+    transfer_time = dataset_bytes / (dedup_ratio * network_throughput)
+    if pipelined:
+        return max(dedup_time, transfer_time)
+    return dedup_time + transfer_time

@@ -1,0 +1,31 @@
+"""Secure deduplication (the paper's future-work direction, Sec. VI).
+
+"As a direction of future work, we plan to investigate the secure
+deduplication issue in cloud backup services" — this package implements
+the classic answer, **convergent encryption**: each chunk is encrypted
+under a key derived from its own content, so identical plaintexts yield
+identical ciphertexts and deduplication keeps working on encrypted
+data, while the cloud provider never sees plaintext.  Per-chunk keys
+are wrapped under the client's master key inside the file recipes.
+
+The primitives are built on :mod:`hashlib` (BLAKE2b keystream / SHA-256
+KDF) so the library stays dependency-free; swap
+:class:`~repro.secure.convergent.ConvergentCipher` for an AES-based one
+in production.
+"""
+
+from repro.secure.convergent import (
+    ConvergentCipher,
+    chunk_key,
+    wrap_key,
+    unwrap_key,
+    WRAPPED_KEY_LEN,
+)
+
+__all__ = [
+    "ConvergentCipher",
+    "chunk_key",
+    "wrap_key",
+    "unwrap_key",
+    "WRAPPED_KEY_LEN",
+]

@@ -1,0 +1,109 @@
+"""Convergent encryption primitives.
+
+Scheme (the standard construction, e.g. Farsite / Anderson-Zhang
+[LISA'10], which the paper cites as related work):
+
+* **chunk key**   ``K = SHA-256(plaintext)`` — content-derived, so equal
+  chunks get equal keys everywhere;
+* **ciphertext**  ``C = P XOR keystream(K)`` — a deterministic stream
+  cipher (BLAKE2b in counter mode keyed by ``K``); equal plaintexts ⇒
+  equal ciphertexts ⇒ dedup still works on encrypted data;
+* **key wrap**    each chunk's ``K`` is stored in the file recipe,
+  encrypted under the client's master secret and bound to the chunk's
+  storage fingerprint, with a short authentication tag so a wrong
+  master key is detected rather than yielding garbage plaintext.
+
+The XOR-keystream cipher is a faithful stand-in with the right
+*dedup-relevant* properties (deterministic, key-recoverable, ciphertext
+indistinguishable from random without ``K``); production deployments
+would substitute AES-CTR/AES-KW without touching the engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import IntegrityError
+
+__all__ = ["ConvergentCipher", "chunk_key", "wrap_key", "unwrap_key",
+           "WRAPPED_KEY_LEN"]
+
+#: Chunk-key length (SHA-256).
+KEY_LEN = 32
+#: Authentication tag appended to a wrapped key.
+TAG_LEN = 8
+#: Serialized wrapped-key length carried in recipes.
+WRAPPED_KEY_LEN = KEY_LEN + TAG_LEN
+
+_BLOCK = 64  # BLAKE2b output size used as the keystream block
+
+
+def chunk_key(plaintext: bytes) -> bytes:
+    """Content-derived chunk key ``K = SHA-256(P)``."""
+    return hashlib.sha256(plaintext).digest()
+
+
+class ConvergentCipher:
+    """Deterministic symmetric cipher keyed per chunk."""
+
+    @staticmethod
+    def _keystream(key: bytes, length: int) -> bytes:
+        blocks = []
+        for counter in range((length + _BLOCK - 1) // _BLOCK):
+            blocks.append(hashlib.blake2b(
+                counter.to_bytes(8, "big"), key=key,
+                digest_size=_BLOCK).digest())
+        return b"".join(blocks)[:length]
+
+    @classmethod
+    def encrypt(cls, plaintext: bytes, key: bytes) -> bytes:
+        """``C = P XOR keystream(K)`` (length-preserving)."""
+        stream = cls._keystream(key, len(plaintext))
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    @classmethod
+    def decrypt(cls, ciphertext: bytes, key: bytes) -> bytes:
+        """Inverse of :meth:`encrypt` (XOR is an involution)."""
+        return cls.encrypt(ciphertext, key)
+
+    @classmethod
+    def seal(cls, plaintext: bytes) -> tuple[bytes, bytes]:
+        """Convergent-encrypt: returns ``(ciphertext, chunk_key)``."""
+        key = chunk_key(plaintext)
+        return cls.encrypt(plaintext, key), key
+
+
+def _wrap_pad(master_key: bytes, fingerprint: bytes) -> bytes:
+    return hashlib.blake2b(fingerprint, key=master_key[:64],
+                           digest_size=KEY_LEN).digest()
+
+
+def _wrap_tag(master_key: bytes, fingerprint: bytes, key: bytes) -> bytes:
+    return hashlib.blake2b(fingerprint + key, key=master_key[:64],
+                           digest_size=TAG_LEN).digest()
+
+
+def wrap_key(key: bytes, master_key: bytes, fingerprint: bytes) -> bytes:
+    """Encrypt a chunk key under the master secret, bound to the chunk's
+    storage fingerprint; appends an authentication tag."""
+    if len(key) != KEY_LEN:
+        raise ValueError(f"chunk key must be {KEY_LEN} bytes")
+    pad = _wrap_pad(master_key, fingerprint)
+    sealed = bytes(k ^ p for k, p in zip(key, pad))
+    return sealed + _wrap_tag(master_key, fingerprint, key)
+
+
+def unwrap_key(wrapped: bytes, master_key: bytes,
+               fingerprint: bytes) -> bytes:
+    """Inverse of :func:`wrap_key`; raises
+    :class:`~repro.errors.IntegrityError` on a wrong master key or a
+    tampered recipe."""
+    if len(wrapped) != WRAPPED_KEY_LEN:
+        raise IntegrityError("wrapped chunk key has wrong length")
+    sealed, tag = wrapped[:KEY_LEN], wrapped[KEY_LEN:]
+    pad = _wrap_pad(master_key, fingerprint)
+    key = bytes(s ^ p for s, p in zip(sealed, pad))
+    if _wrap_tag(master_key, fingerprint, key) != tag:
+        raise IntegrityError("chunk key unwrap failed "
+                             "(wrong master key or corrupt recipe)")
+    return key

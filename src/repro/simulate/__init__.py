@@ -1,0 +1,43 @@
+"""Virtual experiment platform: the paper's MacBook Pro, as a model.
+
+Our Python prototype cannot reproduce the paper's absolute timings
+(different hardware, different language); what it *can* reproduce is the
+work each scheme performs — bytes hashed per algorithm, bytes scanned for
+chunk boundaries, chunks produced, index probes and their RAM residency,
+bytes and requests shipped over the WAN.  This package prices that work
+on a model of the paper's platform:
+
+* :class:`~repro.simulate.clock.VirtualClock` — deterministic time;
+* :class:`~repro.simulate.cpumodel.CPUModel` — cycles/byte per hash and
+  per chunking method on the 2.53 GHz Core 2 Duo;
+* :class:`~repro.simulate.diskmodel.DiskModel` — sequential bandwidth and
+  seek cost of the laptop SATA disk, plus the index-residency model that
+  produces (or avoids) the on-disk index lookup bottleneck;
+* :class:`~repro.simulate.powermodel.PowerModel` — active/idle power for
+  the energy figures;
+* :class:`~repro.simulate.pipeline.backup_window` — the paper's
+  ``BWS = DS · max(1/DT, 1/(DR·NT))`` pipelined window model.
+
+Calibration constants live in one place (`cpumodel.PAPER_PLATFORM` et
+al.) and are documented against the paper's Figs. 3–4.
+"""
+
+from repro.simulate.clock import VirtualClock
+from repro.simulate.cpumodel import CPUModel, PAPER_CPU, dedup_cpu_seconds
+from repro.simulate.diskmodel import DiskModel, PAPER_DISK, IndexResidencyModel
+from repro.simulate.powermodel import PowerModel, PAPER_POWER
+from repro.simulate.pipeline import backup_window, dedup_throughput
+
+__all__ = [
+    "VirtualClock",
+    "CPUModel",
+    "PAPER_CPU",
+    "dedup_cpu_seconds",
+    "DiskModel",
+    "PAPER_DISK",
+    "IndexResidencyModel",
+    "PowerModel",
+    "PAPER_POWER",
+    "backup_window",
+    "dedup_throughput",
+]

@@ -1,0 +1,33 @@
+"""Deterministic virtual clock for simulation runs."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A clock that only moves when told to.
+
+    Satisfies :class:`repro.util.timer.ClockProtocol`, so stopwatches and
+    the simulated cloud can run on virtual time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative advances are a logic error."""
+        if seconds < 0:
+            raise SimulationError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def reset(self, to: float = 0.0) -> None:
+        """Rewind to ``to`` (between independent experiments only)."""
+        self._now = float(to)

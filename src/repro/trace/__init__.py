@@ -1,0 +1,34 @@
+"""Trace layer: paper-scale evaluation without materialising bytes.
+
+Chunk identity over the composition model is decidable symbolically —
+two chunks are equal iff they cover the same block extents — so the five
+schemes can be evaluated on the full multi-gigabyte weekly workload in
+seconds.  The op ledger produced here is the same
+:class:`~repro.core.stats.OpCounters` the real engine fills, and the
+platform models in :mod:`repro.simulate` price it identically.
+
+* :mod:`repro.trace.simchunk` — simulated WFC/SC/CDC over compositions
+  (position-defined vs content-defined boundaries, forced max-size cuts);
+* :mod:`repro.trace.engine` — the policy-driven trace backup client;
+* :mod:`repro.trace.driver` — the 10-session, 5-scheme paper evaluation.
+"""
+
+from repro.trace.simchunk import BoundaryModel, sim_chunks, wfc_id
+from repro.trace.engine import TraceBackupClient
+from repro.trace.driver import (
+    EvaluationResult,
+    SchemeRun,
+    SessionRecord,
+    run_paper_evaluation,
+)
+
+__all__ = [
+    "BoundaryModel",
+    "sim_chunks",
+    "wfc_id",
+    "TraceBackupClient",
+    "EvaluationResult",
+    "SchemeRun",
+    "SessionRecord",
+    "run_paper_evaluation",
+]

@@ -1,0 +1,292 @@
+"""Snapshot generation and the weekly mutation model.
+
+:class:`WorkloadGenerator` produces a sequence of weekly
+:class:`~repro.workloads.compose.Snapshot` objects whose statistics match
+the paper's workload description: per-application capacity shares and
+mean file sizes from Table 1, sub-file redundancy with the right
+chunking sensitivity (see :mod:`repro.workloads.profiles`), a tiny-file
+population per Observation 1, and per-category weekly churn:
+
+* compressed media — occasional whole-file replacement, steady arrival
+  of new files;
+* VM images — most images touched weekly with *aligned* 8 KiB block
+  rewrites (SC-friendly, Observation 3);
+* documents — frequent *unaligned* inserts/appends (CDC territory) and
+  version copies.
+
+``total_bytes`` scales the whole dataset; the paper-scale evaluation
+runs a scaled-down dataset with proportionally scaled RAM budget (see
+:mod:`repro.trace.driver`), which preserves every ratio the figures
+compare.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.util.units import KIB, MB
+from repro.workloads.compose import Composition, Extent, Snapshot, make_block_id
+from repro.workloads.profiles import (
+    AppProfile,
+    DENSITY_DENSE,
+    PAPER_PROFILES,
+    TINY_PROFILE,
+)
+
+__all__ = ["WorkloadGenerator"]
+
+_ALIGN = 8 * KIB           # SC grid; VM rewrites land on it
+_VM_UNIT = 64 * KIB        # VM-image composition granularity
+_TINY_LIMIT = 10 * KIB
+
+
+class _AppState:
+    """Mutable per-application generation state."""
+
+    def __init__(self, profile: AppProfile, capacity: int,
+                 max_mean_file_size: int | None = None) -> None:
+        self.profile = profile
+        self.capacity = capacity
+        mean = profile.mean_file_size
+        if max_mean_file_size is not None:
+            mean = min(mean, max_mean_file_size)
+        count = max(1, int(round(capacity / mean)))
+        if count < 3 and capacity >= 3 * 128 * KIB:
+            count = 3
+        self.count = count
+        self.mean = max(12 * KIB, capacity // count)
+        self.pool: List[int] = []          # shared block ids
+        self.versions: List[Composition] = []
+        self.recent: List[Composition] = []   # copy-traffic candidates
+        self.next_file = 0
+
+
+class WorkloadGenerator:
+    """Deterministic generator of weekly backup snapshots."""
+
+    def __init__(self,
+                 total_bytes: int = 350 * MB,
+                 profiles: Sequence[AppProfile] = PAPER_PROFILES,
+                 tiny_profile: AppProfile = TINY_PROFILE,
+                 tiny_count_ratio: float = 1.56,
+                 seed: int = 2011,
+                 max_mean_file_size: int | None = None) -> None:
+        if total_bytes < 10 * MB:
+            raise WorkloadError("total_bytes too small to honour profiles")
+        self.total_bytes = total_bytes
+        self.profiles = tuple(profiles)
+        self.tiny_profile = tiny_profile
+        self.tiny_count_ratio = tiny_count_ratio
+        self._rng = np.random.default_rng(seed)
+        self._block_counter = 0
+        self._mtime = 0
+        main_capacity = int(total_bytes * 0.988)  # ~1.2 % left for tiny
+        self._apps: Dict[str, _AppState] = {
+            p.label: _AppState(p, int(main_capacity * p.capacity_share),
+                               max_mean_file_size)
+            for p in self.profiles
+        }
+        self._tiny_capacity = total_bytes - main_capacity
+
+    # ------------------------------------------------------------------
+    def _new_block(self, density: int) -> int:
+        self._block_counter += 1
+        return make_block_id(self._block_counter, density)
+
+    def _fresh(self, length: int, density: int) -> Extent:
+        return Extent(self._new_block(density), 0, length)
+
+    def _stamp(self) -> int:
+        self._mtime += 1
+        return self._mtime
+
+    def _draw_sizes(self, state: _AppState, count: int) -> np.ndarray:
+        p = state.profile
+        sigma = p.size_sigma
+        median = state.mean * math.exp(-(sigma ** 2) / 2)
+        sizes = self._rng.lognormal(math.log(median), sigma, size=count)
+        sizes = np.clip(sizes, 12 * KIB, 6 * state.mean)
+        # Rescale so the app hits its capacity share.
+        sizes *= (state.mean * count) / sizes.sum()
+        return np.maximum(sizes.astype(np.int64), 12 * KIB)
+
+    # -- per-mode composition builders ----------------------------------
+    def _build_subshare(self, state: _AppState, size: int) -> Composition:
+        p = state.profile
+        prefix = int(p.sub_dup * size) // (4 * KIB) * (4 * KIB)
+        if int(p.sub_dup * size) >= 4 * KIB:
+            prefix = max(prefix, 8 * KIB)
+        extents: List[Extent] = []
+        if prefix >= 4 * KIB:
+            if not state.pool or (len(state.pool) < 2
+                                  and self._rng.random() < 0.3):
+                state.pool.append(self._new_block(p.density_class))
+            block = state.pool[self._rng.integers(len(state.pool))]
+            extents.append(Extent(block, 0, prefix))
+        remainder = size - prefix
+        if remainder > 0:
+            extents.append(self._fresh(remainder, p.density_class))
+        return Composition(extents)
+
+    def _build_block(self, state: _AppState, size: int) -> Composition:
+        p = state.profile
+        units = max(1, size // _VM_UNIT)
+        pool_target = max(8, int(units * 0.02))
+        draws = self._rng.random(units)
+        extents: List[Extent] = []
+        for duplicated in draws < p.sub_dup:
+            if duplicated and state.pool:
+                block = state.pool[self._rng.integers(len(state.pool))]
+            else:
+                block = self._new_block(p.density_class)
+                if len(state.pool) < pool_target:
+                    state.pool.append(block)
+            extents.append(Extent(block, 0, _VM_UNIT))
+        return Composition(extents)
+
+    def _build_version(self, state: _AppState, size: int) -> Composition:
+        p = state.profile
+        # E[duplicated share] ~= P(version) x E[keep fraction] where the
+        # effective keep fraction (~0.45) accounts for base files smaller
+        # than the new file; calibrated against Table 1.
+        version_prob = min(0.95, p.sub_dup / 0.45)
+        if state.versions and self._rng.random() < version_prob:
+            base = state.versions[self._rng.integers(len(state.versions))]
+            keep = int(min(base.size, size) * self._rng.uniform(0.5, 0.9))
+            extents = base.slice(0, keep) if keep > 0 else []
+            tail = size - keep
+            comp = Composition(extents)
+            if tail > 0:
+                comp = comp.append([self._fresh(tail, p.density_class)])
+            if keep > 4 * KIB and self._rng.random() < p.version_insert_prob:
+                insert_at = int(self._rng.integers(0, keep))
+                comp = comp.splice(insert_at, 0,
+                                   [self._fresh(2 * KIB, p.density_class)])
+        else:
+            comp = Composition([self._fresh(size, p.density_class)])
+        if len(state.versions) < 400:
+            state.versions.append(comp)
+        else:
+            state.versions[self._rng.integers(400)] = comp
+        return comp
+
+    def _build(self, state: _AppState, size: int) -> Composition:
+        p = state.profile
+        if state.recent and self._rng.random() < p.copy_prob:
+            # Whole-file copy: byte-identical to an existing file.
+            return state.recent[self._rng.integers(len(state.recent))]
+        if p.dup_mode == "subshare":
+            comp = self._build_subshare(state, size)
+        elif p.dup_mode == "block":
+            comp = self._build_block(state, size)
+        elif p.dup_mode == "version":
+            comp = self._build_version(state, size)
+        else:
+            raise WorkloadError(f"unknown dup_mode {p.dup_mode!r}")
+        if len(state.recent) < 200:
+            state.recent.append(comp)
+        else:
+            state.recent[self._rng.integers(200)] = comp
+        return comp
+
+    def _new_path(self, state: _AppState) -> str:
+        p = state.profile
+        index = state.next_file
+        state.next_file += 1
+        return f"{p.label}/{p.label}{index:05d}.{p.extension}"
+
+    # ------------------------------------------------------------------
+    def initial_snapshot(self) -> Snapshot:
+        """Build week 0: the full synthetic home directory."""
+        snap = Snapshot(session=0)
+        for state in self._apps.values():
+            for size in self._draw_sizes(state, state.count):
+                snap.set(self._new_path(state),
+                         self._build(state, int(size)), self._stamp())
+        # Tiny-file population.
+        main_count = sum(s.count for s in self._apps.values())
+        tiny_count = int(main_count * self.tiny_count_ratio)
+        if tiny_count:
+            mean_tiny = max(256, self._tiny_capacity // tiny_count)
+            sizes = self._rng.lognormal(
+                math.log(mean_tiny * 0.7), 0.9, size=tiny_count)
+            sizes = np.clip(sizes, 64, _TINY_LIMIT - 1).astype(np.int64)
+            exts = ("txt", "log", "md", "json", "html")
+            for i, size in enumerate(sizes):
+                path = f"tiny/misc{i:06d}.{exts[i % len(exts)]}"
+                snap.set(path, Composition(
+                    [self._fresh(int(size), DENSITY_DENSE)]), self._stamp())
+        return snap
+
+    # ------------------------------------------------------------------
+    def _modify(self, state: _AppState, comp: Composition) -> Composition:
+        p = state.profile
+        if p.dup_mode == "subshare":
+            # Re-encoded/replaced media file: new content, same size class.
+            return self._build_subshare(state, comp.size)
+        if p.dup_mode == "block":
+            # Aligned in-place rewrites (a week of VM activity).
+            slots = comp.size // _ALIGN
+            k = max(1, int(slots * p.rewrite_fraction))
+            offsets = self._rng.choice(slots, size=min(k, slots),
+                                       replace=False) * _ALIGN
+            edits = [(int(off), _ALIGN,
+                      [self._fresh(_ALIGN, p.density_class)])
+                     for off in sorted(offsets)]
+            return comp.splice_many(edits)
+        # Documents: unaligned edit traffic.
+        roll = self._rng.random()
+        if roll < 0.7 and comp.size > 4 * KIB:
+            insert_at = int(self._rng.integers(0, comp.size))
+            return comp.splice(insert_at, 0,
+                               [self._fresh(2 * KIB, p.density_class)])
+        if roll < 0.9:
+            return comp.append([self._fresh(4 * KIB, p.density_class)])
+        keep = int(comp.size * self._rng.uniform(0.6, 0.95))
+        return Composition(comp.slice(0, max(1, keep))).append(
+            [self._fresh(max(1, comp.size - keep), p.density_class)])
+
+    def next_snapshot(self, snap: Snapshot) -> Snapshot:
+        """One week of churn applied to ``snap`` (returns a new snapshot)."""
+        out = snap.copy(snap.session + 1)
+        for state in self._apps.values():
+            p = state.profile
+            prefix = f"{p.label}/"
+            paths = [path for path in out.files if path.startswith(prefix)]
+            if not paths:
+                continue
+            rolls = self._rng.random(len(paths))
+            for path, roll in zip(paths, rolls):
+                if roll < p.weekly_delete:
+                    out.remove(path)
+                elif roll < p.weekly_delete + p.weekly_modify:
+                    out.set(path, self._modify(state, out.files[path]),
+                            self._stamp())
+            new_count = int(round(len(paths) * p.weekly_new))
+            if new_count:
+                for size in self._draw_sizes(state, new_count):
+                    out.set(self._new_path(state),
+                            self._build(state, int(size)), self._stamp())
+        # Tiny churn: small replace/new traffic.
+        tiny_paths = [path for path in out.files if path.startswith("tiny/")]
+        if tiny_paths:
+            tp = self.tiny_profile
+            rolls = self._rng.random(len(tiny_paths))
+            for path, roll in zip(tiny_paths, rolls):
+                if roll < tp.weekly_modify:
+                    size = out.files[path].size
+                    out.set(path, Composition(
+                        [self._fresh(size, DENSITY_DENSE)]), self._stamp())
+        return out
+
+    def sessions(self, count: int) -> Iterator[Snapshot]:
+        """Yield ``count`` weekly snapshots (week 0 first)."""
+        snap = self.initial_snapshot()
+        yield snap
+        for _ in range(count - 1):
+            snap = self.next_snapshot(snap)
+            yield snap

@@ -1,0 +1,50 @@
+"""Alternative workload compositions for robustness checks.
+
+The paper's conclusions should not hinge on one particular home-directory
+mix.  :func:`profiles_with_shares` rebuilds the twelve application
+profiles with a different capacity split; two presets are provided:
+
+* :data:`MEDIA_VM_SHARES` — the default evaluation mix (media-heavy with
+  one active VM), identical to ``profiles.EVAL_SHARES``;
+* :data:`OFFICE_SHARES` — a document-centric office machine: little
+  media, no huge VM images dominating, lots of mutable documents.
+
+The robustness bench (``benchmarks/test_bench_workload_robustness.py``)
+asserts the paper's qualitative results hold under both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from repro.workloads.profiles import AppProfile, EVAL_SHARES, PAPER_PROFILES
+
+__all__ = ["MEDIA_VM_SHARES", "OFFICE_SHARES", "profiles_with_shares"]
+
+#: The default evaluation composition (see profiles.EVAL_SHARES).
+MEDIA_VM_SHARES: Dict[str, float] = dict(EVAL_SHARES)
+
+#: An office workstation: documents and binaries dominate, small VM.
+OFFICE_SHARES: Dict[str, float] = {
+    "avi": 0.030, "mp3": 0.040, "iso": 0.030, "dmg": 0.020, "rar": 0.060,
+    "jpg": 0.080, "pdf": 0.160, "exe": 0.060, "vmdk": 0.150, "doc": 0.150,
+    "txt": 0.160, "ppt": 0.060,
+}
+
+
+def profiles_with_shares(shares: Dict[str, float]
+                         ) -> Tuple[AppProfile, ...]:
+    """The twelve paper profiles with ``shares`` as capacity split.
+
+    Shares must cover exactly the twelve labels and sum to ~1; every
+    other per-application behaviour (redundancy mechanism, densities,
+    churn) is kept from the Table-1 calibration.
+    """
+    if set(shares) != {p.label for p in PAPER_PROFILES}:
+        raise ValueError("shares must cover exactly the 12 paper apps")
+    total = sum(shares.values())
+    if not 0.99 <= total <= 1.01:
+        raise ValueError(f"shares must sum to 1 (got {total})")
+    return tuple(replace(p, capacity_share=shares[p.label])
+                 for p in PAPER_PROFILES)

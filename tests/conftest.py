@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic RNG."""
+    return np.random.default_rng(0xAADE)
+
+
+@pytest.fixture(scope="session")
+def random_bytes(rng) -> bytes:
+    """256 KiB of deterministic pseudo-random bytes."""
+    return rng.integers(0, 256, size=256 * 1024, dtype=np.uint8).tobytes()

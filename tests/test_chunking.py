@@ -1,0 +1,177 @@
+"""Tests for the chunking substrate: WFC, SC, CDC and shared invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking import (
+    Chunk,
+    RabinCDC,
+    StaticChunker,
+    WholeFileChunker,
+    get_chunker,
+)
+from repro.chunking.base import available_chunkers
+from repro.chunking.cdc import default_mask_bits
+from repro.errors import ChunkingError
+from repro.util.units import KIB
+
+
+def assert_partition(chunker, data: bytes) -> list:
+    """Assert the chunker invariants and return the chunks."""
+    chunks = chunker.chunk(data)
+    if not data:
+        assert chunks == []
+        return chunks
+    assert chunks[0].offset == 0
+    for a, b in zip(chunks, chunks[1:]):
+        assert a.end == b.offset
+    assert chunks[-1].end == len(data)
+    assert b"".join(c.data for c in chunks) == data
+    return chunks
+
+
+class TestChunkRecord:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ChunkingError):
+            Chunk(offset=0, length=5, data=b"abc")
+
+    def test_end(self):
+        assert Chunk(offset=10, length=3, data=b"abc").end == 13
+
+
+class TestWholeFileChunker:
+    def test_single_chunk(self):
+        chunks = assert_partition(WholeFileChunker(), b"some file content")
+        assert len(chunks) == 1
+
+    def test_empty_file(self):
+        assert_partition(WholeFileChunker(), b"")
+
+    def test_average_is_infinite(self):
+        assert WholeFileChunker().average_chunk_size() == float("inf")
+
+
+class TestStaticChunker:
+    def test_exact_multiple(self):
+        chunks = assert_partition(StaticChunker(chunk_size=4), b"abcdefgh")
+        assert [c.length for c in chunks] == [4, 4]
+
+    def test_tail_chunk(self):
+        chunks = assert_partition(StaticChunker(chunk_size=4), b"abcdefghi")
+        assert [c.length for c in chunks] == [4, 4, 1]
+
+    def test_file_smaller_than_chunk(self):
+        chunks = assert_partition(StaticChunker(chunk_size=1024), b"tiny")
+        assert len(chunks) == 1
+
+    def test_default_is_8kib(self):
+        assert StaticChunker().chunk_size == 8 * KIB
+
+    def test_invalid_size(self):
+        with pytest.raises(ChunkingError):
+            StaticChunker(chunk_size=0)
+
+    def test_boundary_shift_on_insert(self, random_bytes):
+        # The SC weakness the paper exploits CDC for: one inserted byte
+        # invalidates every later chunk.
+        data = random_bytes[:64 * 1024]
+        mutated = data[:100] + b"!" + data[100:]
+        sc = StaticChunker(chunk_size=4 * KIB)
+        before = {c.data for c in sc.chunk(data)}
+        after = {c.data for c in sc.chunk(mutated)}
+        assert len(before & after) <= 1
+
+    @given(st.binary(max_size=5000), st.integers(1, 900))
+    @settings(max_examples=40)
+    def test_property_partition(self, data, size):
+        assert_partition(StaticChunker(chunk_size=size), data)
+
+
+class TestRabinCDC:
+    def test_parameter_validation(self):
+        with pytest.raises(ChunkingError):
+            RabinCDC(min_size=0)
+        with pytest.raises(ChunkingError):
+            RabinCDC(min_size=100, avg_size=50, max_size=200)
+        with pytest.raises(ChunkingError):
+            RabinCDC(avg_size=300, min_size=200, max_size=250)
+
+    def test_default_mask_bits(self):
+        # 8 KiB avg / 2 KiB min -> round(log2(6144)) = 13.
+        assert default_mask_bits(8 * KIB, 2 * KIB) == 13
+
+    def test_partition_invariants(self, random_bytes):
+        assert_partition(RabinCDC(), random_bytes)
+
+    def test_chunk_size_bounds(self, random_bytes):
+        cdc = RabinCDC()
+        chunks = cdc.chunk(random_bytes)
+        for c in chunks[:-1]:
+            assert cdc.min_size <= c.length <= cdc.max_size
+        assert chunks[-1].length <= cdc.max_size
+
+    def test_mean_chunk_size_near_expected(self, rng):
+        data = rng.integers(0, 256, size=2 * 1024 * 1024,
+                            dtype=np.uint8).tobytes()
+        cdc = RabinCDC()
+        chunks = cdc.chunk(data)
+        mean = len(data) / len(chunks)
+        expected = cdc.expected_chunk_size()
+        assert 0.5 * expected < mean < 1.6 * expected
+
+    def test_numpy_matches_python_oracle(self, random_bytes):
+        data = random_bytes[:96 * 1024]
+        fast = RabinCDC(use_numpy=True)
+        slow = RabinCDC(use_numpy=False)
+        assert fast.cut_points(data) == slow.cut_points(data)
+
+    def test_content_defined_boundaries_survive_insert(self, random_bytes):
+        data = random_bytes[:128 * 1024]
+        mutated = data[: 40 * 1024] + b"INSERTED" * 4 + data[40 * 1024:]
+        cdc = RabinCDC()
+        before = {c.data for c in cdc.chunk(data)}
+        after = {c.data for c in cdc.chunk(mutated)}
+        # Most chunks survive (only those straddling the edit change).
+        assert len(before & after) >= 0.6 * len(before)
+
+    def test_zero_runs_forced_cuts(self):
+        # All-zero data never matches the magic (fp == 0), so CDC emits
+        # forced max-size cuts — Observation 3's failure mode.
+        data = bytes(200 * 1024)
+        cdc = RabinCDC()
+        chunks = cdc.chunk(data)
+        assert all(c.length == cdc.max_size for c in chunks[:-1])
+
+    def test_small_file_single_chunk(self):
+        chunks = RabinCDC().chunk(b"below minimum size")
+        assert len(chunks) == 1
+
+    def test_empty(self):
+        assert RabinCDC().chunk(b"") == []
+
+    def test_boundaries_deterministic(self, random_bytes):
+        cdc = RabinCDC()
+        assert cdc.cut_points(random_bytes) == cdc.cut_points(random_bytes)
+
+    @given(st.binary(max_size=30_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_partition(self, data):
+        cdc = RabinCDC(avg_size=1024, min_size=256, max_size=4096, window=16)
+        assert_partition(cdc, data)
+        for c in cdc.chunk(data)[:-1]:
+            assert 256 <= c.length <= 4096
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(available_chunkers()) >= {"wfc", "sc", "cdc"}
+
+    def test_get_chunker_defaults(self):
+        assert isinstance(get_chunker("cdc"), RabinCDC)
+        assert get_chunker("sc").chunk_size == 8 * KIB
+
+    def test_unknown(self):
+        with pytest.raises(ChunkingError):
+            get_chunker("rolling-stones")

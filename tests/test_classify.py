@@ -1,0 +1,137 @@
+"""Tests for application classification and the Fig. 6 policy table."""
+
+import pytest
+
+from repro.classify import (
+    AA_POLICY_TABLE,
+    AppType,
+    Category,
+    UNKNOWN,
+    classify_name,
+    classify_path,
+    classify_file,
+    known_app_types,
+    policy_for_category,
+    policy_for_path,
+    register_app_type,
+    sniff_bytes,
+)
+from repro.chunking import RabinCDC, StaticChunker, WholeFileChunker
+from repro.errors import ConfigError
+
+
+class TestClassifyByExtension:
+    @pytest.mark.parametrize("name,label,category", [
+        ("song.mp3", "mp3", Category.COMPRESSED),
+        ("movie.AVI", "avi", Category.COMPRESSED),
+        ("archive.rar", "rar", Category.COMPRESSED),
+        ("photo.jpeg", "jpg", Category.COMPRESSED),
+        ("disk.iso", "iso", Category.COMPRESSED),
+        ("image.dmg", "dmg", Category.COMPRESSED),
+        ("paper.pdf", "pdf", Category.STATIC),
+        ("setup.exe", "exe", Category.STATIC),
+        ("vm.vmdk", "vmdk", Category.STATIC),
+        ("letter.doc", "doc", Category.DYNAMIC),
+        ("notes.txt", "txt", Category.DYNAMIC),
+        ("slides.ppt", "ppt", Category.DYNAMIC),
+    ])
+    def test_paper_twelve_apps(self, name, label, category):
+        app = classify_name(name)
+        assert app.label == label
+        assert app.category == category
+
+    def test_unknown_extension(self):
+        assert classify_name("file.xyzzy") is UNKNOWN
+
+    def test_no_extension(self):
+        assert classify_name("Makefile") is UNKNOWN
+
+    def test_path_variant(self):
+        assert classify_path("/home/u/docs/a.b.PDF").label == "pdf"
+
+    def test_unknown_is_dynamic(self):
+        # Conservative fallback: strongest hash, finest chunking.
+        assert UNKNOWN.category == Category.DYNAMIC
+
+    def test_registry_collision_detected(self):
+        with pytest.raises(ValueError):
+            register_app_type(AppType("dupe", Category.COMPRESSED, ("mp3",)))
+
+    def test_known_app_types_sorted(self):
+        labels = [a.label for a in known_app_types()]
+        assert labels == sorted(labels)
+        assert "vmdk" in labels
+
+
+class TestMagicSniffing:
+    @pytest.mark.parametrize("head,label", [
+        (b"\xFF\xD8\xFF\xE0" + b"\0" * 60, "jpg"),
+        (b"%PDF-1.4" + b"\0" * 56, "pdf"),
+        (b"PK\x03\x04" + b"\0" * 60, "zip"),
+        (b"Rar!\x1a\x07\x00" + b"\0" * 57, "rar"),
+        (b"MZ\x90\x00" + b"\0" * 60, "exe"),
+        (b"ID3\x03" + b"\0" * 60, "mp3"),
+        (b"RIFF\x24\x00\x00\x00AVI " + b"\0" * 52, "avi"),
+        (b"RIFF\x24\x00\x00\x00WAVE" + b"\0" * 52, "audio"),
+        (b"KDMV" + b"\0" * 60, "vmdk"),
+        (b"\xD0\xCF\x11\xE0\xA1\xB1\x1A\xE1" + b"\0" * 56, "doc"),
+    ])
+    def test_signatures(self, head, label):
+        assert sniff_bytes(head).label == label
+
+    def test_unknown_content(self):
+        assert sniff_bytes(b"\x00\x01\x02\x03" * 16) is UNKNOWN
+
+    def test_iso_deep_offset(self):
+        assert sniff_bytes(b"\0" * 64, tail_probe=b"CD001").label == "iso"
+
+    def test_classify_file_extension_wins(self, tmp_path):
+        f = tmp_path / "actually.pdf"
+        f.write_bytes(b"MZ not really a pdf")
+        assert classify_file(f).label == "pdf"
+
+    def test_classify_file_sniffs_extensionless(self, tmp_path):
+        f = tmp_path / "mystery"
+        f.write_bytes(b"%PDF-1.7 content here")
+        assert classify_file(f).label == "pdf"
+
+    def test_classify_file_missing(self, tmp_path):
+        assert classify_file(tmp_path / "nope") is UNKNOWN
+
+
+class TestPolicyTable:
+    def test_compressed_policy(self):
+        p = AA_POLICY_TABLE[Category.COMPRESSED]
+        assert p.chunker == "wfc" and p.hash_name == "rabin12"
+        assert isinstance(p.make_chunker(), WholeFileChunker)
+
+    def test_static_policy(self):
+        p = AA_POLICY_TABLE[Category.STATIC]
+        assert p.chunker == "sc" and p.hash_name == "md5"
+        chunker = p.make_chunker()
+        assert isinstance(chunker, StaticChunker)
+        assert chunker.chunk_size == 8192
+
+    def test_dynamic_policy(self):
+        p = AA_POLICY_TABLE[Category.DYNAMIC]
+        assert p.chunker == "cdc" and p.hash_name == "sha1"
+        chunker = p.make_chunker()
+        assert isinstance(chunker, RabinCDC)
+        assert (chunker.min_size, chunker.max_size) == (2048, 16384)
+        assert chunker.window == 48
+
+    def test_policy_for_path(self):
+        app, policy = policy_for_path("backup/report.doc")
+        assert app.label == "doc"
+        assert policy.chunker == "cdc"
+
+    def test_policy_for_category_custom_table(self):
+        table = {Category.COMPRESSED: AA_POLICY_TABLE[Category.DYNAMIC]}
+        assert policy_for_category(Category.COMPRESSED, table).chunker == "cdc"
+        with pytest.raises(ConfigError):
+            policy_for_category(Category.STATIC, table)
+
+    def test_fingerprinter_resolution(self):
+        for policy in AA_POLICY_TABLE.values():
+            fp = policy.fingerprinter()
+            assert fp.digest_size in (12, 16, 20)

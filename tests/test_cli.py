@@ -1,0 +1,127 @@
+"""End-to-end tests of the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def source_tree(tmp_path, rng):
+    src = tmp_path / "src"
+    (src / "docs").mkdir(parents=True)
+    (src / "docs" / "report.doc").write_bytes(
+        rng.integers(0, 256, 40_000, dtype=np.uint8).tobytes())
+    (src / "song.mp3").write_bytes(
+        rng.integers(0, 256, 30_000, dtype=np.uint8).tobytes())
+    (src / "note.txt").write_bytes(b"a tiny note")
+    return src
+
+
+def run(*argv) -> int:
+    return main([str(a) for a in argv])
+
+
+class TestBackupRestoreCycle:
+    def test_full_cycle(self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        assert run("backup", source_tree, "--store", store) == 0
+        out = capsys.readouterr().out
+        assert "session 0" in out
+
+        # Second invocation = fresh process; must dedup via resume.
+        assert run("backup", source_tree, "--store", store) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert "0 new chunks" in out
+
+        assert run("ls", "--store", store) == 0
+        out = capsys.readouterr().out
+        assert "AA-Dedupe" in out and "0" in out and "1" in out
+
+        dest = tmp_path / "out"
+        assert run("restore", "1", dest, "--store", store) == 0
+        assert (dest / "docs" / "report.doc").read_bytes() == \
+            (source_tree / "docs" / "report.doc").read_bytes()
+        assert (dest / "note.txt").read_bytes() == b"a tiny note"
+
+    def test_selective_restore(self, source_tree, tmp_path):
+        store = tmp_path / "cloud"
+        run("backup", source_tree, "--store", store)
+        dest = tmp_path / "partial"
+        assert run("restore", "0", dest, "--store", store,
+                   "--path", "note.txt") == 0
+        assert (dest / "note.txt").exists()
+        assert not (dest / "docs").exists()
+
+    def test_alternative_scheme(self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        assert run("backup", source_tree, "--store", store,
+                   "--scheme", "Avamar") == 0
+        out = capsys.readouterr().out
+        assert "[Avamar]" in out
+        dest = tmp_path / "out"
+        assert run("restore", "0", dest, "--store", store) == 0
+        assert (dest / "song.mp3").read_bytes() == \
+            (source_tree / "song.mp3").read_bytes()
+
+    def test_unknown_scheme_exits(self, source_tree, tmp_path):
+        with pytest.raises(SystemExit):
+            run("backup", source_tree, "--store", tmp_path / "c",
+                "--scheme", "tarball")
+
+    def test_container_size_override(self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        assert run("backup", source_tree, "--store", store,
+                   "--container-size", "64KB") == 0
+
+
+class TestMaintenanceCommands:
+    def test_scrub_clean(self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        run("backup", source_tree, "--store", store)
+        capsys.readouterr()
+        assert run("scrub", "--store", store) == 0
+        assert "store is clean" in capsys.readouterr().out
+
+    def test_scrub_detects_corruption(self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        run("backup", source_tree, "--store", store)
+        containers = sorted((store / "containers").iterdir())
+        blob = bytearray(containers[0].read_bytes())
+        blob[200] ^= 0xFF
+        containers[0].write_bytes(bytes(blob))
+        assert run("scrub", "--store", store) == 1
+        assert "PROBLEM" in capsys.readouterr().err
+
+    def test_gc_keep_last(self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        run("backup", source_tree, "--store", store)
+        run("backup", source_tree, "--store", store)
+        capsys.readouterr()
+        assert run("gc", "--store", store, "--keep-last", "1") == 0
+        out = capsys.readouterr().out
+        assert "retained sessions: [1]" in out
+        # Remaining session still restores.
+        assert run("restore", "1", tmp_path / "out", "--store", store) == 0
+
+    def test_gc_explicit_retain(self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        run("backup", source_tree, "--store", store)
+        run("backup", source_tree, "--store", store)
+        capsys.readouterr()
+        assert run("gc", "--store", store, "--retain", "0") == 0
+        assert "retained sessions: [0]" in capsys.readouterr().out
+
+    def test_estimate(self, source_tree, capsys):
+        assert run("estimate", source_tree) == 0
+        out = capsys.readouterr().out
+        assert "dedup ratio" in out
+        assert "compressed" in out
+
+    def test_schemes_listing(self, capsys):
+        assert run("schemes") == 0
+        out = capsys.readouterr().out
+        for name in ("JungleDisk", "BackupPC", "Avamar", "SAM",
+                     "AA-Dedupe"):
+            assert name in out

@@ -1,0 +1,78 @@
+"""Tests for collision-probability arithmetic (repro.hashing.collision)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.collision import (
+    HARDWARE_ERROR_RATE,
+    collision_probability,
+    required_bits,
+    safe_for_dataset,
+)
+
+
+class TestCollisionProbability:
+    def test_zero_or_one_item(self):
+        assert collision_probability(0, 64) == 0.0
+        assert collision_probability(1, 64) == 0.0
+
+    def test_monotone_in_items(self):
+        assert collision_probability(10**6, 96) < collision_probability(
+            10**7, 96)
+
+    def test_monotone_in_bits(self):
+        assert collision_probability(10**6, 128) < collision_probability(
+            10**6, 96)
+
+    def test_matches_closed_form_small(self):
+        # n=2, b bits: P = 1 - exp(-2/2^(b+1)) ~= 2^-b.
+        p = collision_probability(2, 16)
+        assert p == pytest.approx(-math.expm1(-2 / 2**17))
+
+    def test_saturates_at_one(self):
+        assert collision_probability(10**9, 8) == pytest.approx(1.0)
+
+
+class TestRequiredBits:
+    def test_inverse_of_probability(self):
+        bits = required_bits(10**6, 1e-15)
+        assert collision_probability(10**6, bits) <= 1e-15
+        assert collision_probability(10**6, bits - 2) > 1e-15
+
+    def test_trivial_population(self):
+        assert required_bits(1, 0.5) == 1
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            required_bits(100, 0.0)
+        with pytest.raises(ValueError):
+            required_bits(100, 1.0)
+
+    @given(st.integers(2, 10**8), st.floats(1e-18, 0.5))
+    @settings(max_examples=30)
+    def test_property_sufficient(self, n, p):
+        assert collision_probability(n, required_bits(n, p)) <= p
+
+
+class TestPaperArgument:
+    """Sec. III-D: weak hashes are safe when collisions are rarer than
+    hardware errors."""
+
+    def test_wfc_rabin12_safe_for_pc_scale(self):
+        # ~10^6 compressed files at 96 bits.
+        assert safe_for_dataset(10**6, 96)
+
+    def test_sc_md5_safe_for_tb_scale(self):
+        # A TB of 8 KiB chunks is ~1.3e8 chunks at 128 bits.
+        assert safe_for_dataset(130_000_000, 128)
+
+    def test_weak_hash_unsafe_at_datacenter_scale(self):
+        # The same 96-bit hash is NOT safe for 10^12 chunks — the reason
+        # target dedup systems use SHA-1 everywhere.
+        assert not safe_for_dataset(10**12, 96)
+
+    def test_threshold_constant(self):
+        assert HARDWARE_ERROR_RATE == 1e-15

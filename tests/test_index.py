@@ -1,0 +1,314 @@
+"""Tests for the chunk-index substrate: entries, memory, disk, cache,
+Bloom filter, and the application-aware composite."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index import (
+    AppAwareIndex,
+    BloomFilter,
+    DiskIndex,
+    IndexEntry,
+    LRUCache,
+    MemoryIndex,
+)
+
+
+def fp(i: int, size: int = 20) -> bytes:
+    """Deterministic fingerprint for test item ``i``."""
+    return hashlib.sha1(str(i).encode()).digest()[:size]
+
+
+def entry(i: int, **kw) -> IndexEntry:
+    return IndexEntry(fingerprint=fp(i), container_id=kw.get("cid", i // 10),
+                      offset=kw.get("offset", i * 100),
+                      length=kw.get("length", 100),
+                      refcount=kw.get("refcount", 1))
+
+
+class TestIndexEntry:
+    def test_pack_unpack_roundtrip(self):
+        e = entry(42)
+        assert IndexEntry.unpack(e.pack()) == e
+
+    def test_pack_unpack_short_fingerprint(self):
+        e = IndexEntry(fingerprint=b"\x01" * 12, container_id=7, offset=3,
+                       length=9, refcount=2)
+        assert IndexEntry.unpack(e.pack()) == e
+
+    def test_record_size_fixed(self):
+        assert len(entry(1).pack()) == IndexEntry.RECORD_SIZE
+
+    def test_invalid_fingerprint_length(self):
+        with pytest.raises(IndexError_):
+            IndexEntry(fingerprint=b"", container_id=0, offset=0, length=0)
+        with pytest.raises(IndexError_):
+            IndexEntry(fingerprint=b"x" * 21, container_id=0, offset=0,
+                       length=0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(IndexError_):
+            IndexEntry(fingerprint=b"x", container_id=-1, offset=0, length=0)
+
+    def test_bumped(self):
+        assert entry(1).bumped(3).refcount == 4
+
+    @given(st.binary(min_size=1, max_size=20), st.integers(0, 2**40),
+           st.integers(0, 2**40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40)
+    def test_property_roundtrip(self, fingerprint, cid, off, length):
+        e = IndexEntry(fingerprint, cid, off, length)
+        assert IndexEntry.unpack(e.pack()) == e
+
+
+class TestMemoryIndex:
+    def test_miss_then_hit(self):
+        idx = MemoryIndex()
+        assert idx.lookup(fp(1)) is None
+        idx.insert(entry(1))
+        assert idx.lookup(fp(1)) == entry(1)
+
+    def test_replace(self):
+        idx = MemoryIndex()
+        idx.insert(entry(1))
+        idx.insert(entry(1, refcount=5))
+        assert idx.lookup(fp(1)).refcount == 5
+        assert len(idx) == 1
+
+    def test_stats(self):
+        idx = MemoryIndex()
+        idx.insert(entry(1))
+        idx.lookup(fp(1))
+        idx.lookup(fp(2))
+        assert idx.stats.lookups == 2
+        assert idx.stats.hits == 1
+        assert idx.stats.inserts == 1
+        assert idx.stats.memory_hits == 2
+
+    def test_entries_iteration(self):
+        idx = MemoryIndex()
+        for i in range(5):
+            idx.insert(entry(i))
+        assert {e.fingerprint for e in idx.entries()} == {fp(i)
+                                                          for i in range(5)}
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(capacity=500, fp_rate=0.01)
+        items = [fp(i) for i in range(500)]
+        for item in items:
+            bf.add(item)
+        assert all(bf.might_contain(item) for item in items)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(capacity=1000, fp_rate=0.01)
+        for i in range(1000):
+            bf.add(fp(i))
+        fps = sum(bf.might_contain(fp(i)) for i in range(1000, 6000))
+        assert fps / 5000 < 0.05  # generous bound over nominal 1%
+
+    def test_serialisation_roundtrip(self):
+        bf = BloomFilter(capacity=100)
+        for i in range(100):
+            bf.add(fp(i))
+        clone = BloomFilter.from_bytes(bf.to_bytes())
+        assert clone.num_bits == bf.num_bits
+        assert all(clone.might_contain(fp(i)) for i in range(100))
+        assert clone.count == 100
+
+    def test_expected_fp_rate_grows(self):
+        bf = BloomFilter(capacity=100, fp_rate=0.01)
+        assert bf.expected_fp_rate() == 0.0
+        for i in range(100):
+            bf.add(fp(i))
+        assert 0.0 < bf.expected_fp_rate() < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=0)
+        with pytest.raises(ValueError):
+            BloomFilter(capacity=10, fp_rate=1.5)
+
+
+class TestDiskIndex:
+    def test_basic_roundtrip(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=100)
+        idx.insert(entry(1))
+        assert idx.lookup(fp(1)) == entry(1)
+
+    def test_flush_and_reopen(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=1000)
+        for i in range(50):
+            idx.insert(entry(i))
+        idx.close()
+        reopened = DiskIndex(tmp_path)
+        for i in range(50):
+            assert reopened.lookup(fp(i)) == entry(i)
+        assert len(reopened) == 50
+
+    def test_memtable_spill_creates_runs(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=10)
+        for i in range(35):
+            idx.insert(entry(i))
+        assert len(list(tmp_path.glob("run-*.idx"))) >= 3
+        for i in range(35):
+            assert idx.lookup(fp(i)) is not None
+
+    def test_disk_probes_accounted(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=10)
+        for i in range(20):
+            idx.insert(entry(i))
+        idx.flush()
+        before = idx.stats.disk_probes
+        assert idx.lookup(fp(0)) is not None
+        assert idx.stats.disk_probes > before
+
+    def test_bloom_avoids_probes_on_miss(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=10)
+        for i in range(20):
+            idx.insert(entry(i))
+        idx.flush()
+        before = idx.stats.disk_probes
+        misses = sum(idx.lookup(fp(i)) is None for i in range(10_000, 10_200))
+        assert misses == 200
+        # Bloom filters should have rejected nearly every run probe.
+        assert idx.stats.disk_probes - before < 200
+
+    def test_newest_version_wins(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=5)
+        for i in range(10):
+            idx.insert(entry(i))
+        idx.flush()
+        idx.insert(entry(3, refcount=9))
+        idx.flush()
+        assert idx.lookup(fp(3)).refcount == 9
+
+    def test_compaction_preserves_content(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=5, max_runs=3)
+        for i in range(60):
+            idx.insert(entry(i))
+        idx.flush()
+        assert len(list(tmp_path.glob("run-*.idx"))) <= 4
+        for i in range(60):
+            assert idx.lookup(fp(i)) == entry(i)
+        assert len(idx) == 60
+
+    def test_entries_shadowing(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=5)
+        for i in range(10):
+            idx.insert(entry(i))
+        idx.flush()
+        idx.insert(entry(2, refcount=7))
+        found = {e.fingerprint: e for e in idx.entries()}
+        assert found[fp(2)].refcount == 7
+        assert len(found) == 10
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(IndexError_):
+            DiskIndex(tmp_path, memtable_limit=0)
+
+
+class TestLRUCache:
+    def test_hit_after_insert(self, tmp_path):
+        cache = LRUCache(MemoryIndex(), capacity=10)
+        cache.insert(entry(1))
+        assert cache.lookup(fp(1)) == entry(1)
+        assert cache.cache_hits == 1
+
+    def test_eviction(self):
+        cache = LRUCache(MemoryIndex(), capacity=3)
+        for i in range(5):
+            cache.insert(entry(i))
+        # 0 and 1 evicted from cache but present in backing.
+        assert cache.lookup(fp(0)) == entry(0)
+        assert cache.cache_misses >= 1
+
+    def test_miss_populates_cache(self):
+        backing = MemoryIndex()
+        backing.insert(entry(7))
+        cache = LRUCache(backing, capacity=4)
+        cache.lookup(fp(7))
+        backing_lookups = backing.stats.lookups
+        cache.lookup(fp(7))
+        assert backing.stats.lookups == backing_lookups  # served from cache
+
+    def test_hit_ratio(self):
+        cache = LRUCache(MemoryIndex(), capacity=4)
+        cache.insert(entry(1))
+        cache.lookup(fp(1))
+        cache.lookup(fp(2))
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(MemoryIndex(), capacity=0)
+
+
+class TestAppAwareIndex:
+    def test_per_app_isolation(self):
+        aa = AppAwareIndex()
+        aa.insert("mp3", entry(1))
+        assert aa.lookup("mp3", fp(1)) is not None
+        # Same fingerprint under a different app label: independent index.
+        assert aa.lookup("doc", fp(1)) is None
+
+    def test_sizes_and_len(self):
+        aa = AppAwareIndex()
+        for i in range(4):
+            aa.insert("mp3", entry(i))
+        for i in range(10, 13):
+            aa.insert("doc", entry(i))
+        assert aa.sizes() == {"mp3": 4, "doc": 3}
+        assert len(aa) == 7
+        assert aa.apps == ["doc", "mp3"]
+
+    def test_entries_tagged_with_app(self):
+        aa = AppAwareIndex()
+        aa.insert("txt", entry(5))
+        assert list(aa.entries()) == [("txt", entry(5))]
+
+    def test_combined_stats(self):
+        aa = AppAwareIndex()
+        aa.insert("a", entry(1))
+        aa.lookup("a", fp(1))
+        aa.lookup("b", fp(2))
+        stats = aa.combined_stats()
+        assert stats.lookups == 2 and stats.hits == 1 and stats.inserts == 1
+
+    def test_reset_stats(self):
+        aa = AppAwareIndex()
+        aa.insert("a", entry(1))
+        aa.reset_stats()
+        assert aa.combined_stats().lookups == 0
+
+    def test_batch_serial_and_parallel_agree(self):
+        aa = AppAwareIndex(max_workers=3)
+        for i in range(30):
+            aa.insert(f"app{i % 3}", entry(i))
+        queries = [(f"app{i % 3}", fp(i)) for i in range(40)]
+        serial = aa.lookup_batch(queries, parallel=False)
+        parallel = aa.lookup_batch(queries, parallel=True)
+        assert serial == parallel
+        assert sum(e is not None for e in serial) == 30
+        aa.close()
+
+    def test_custom_factory(self, tmp_path):
+        aa = AppAwareIndex(
+            factory=lambda app: DiskIndex(tmp_path / app, memtable_limit=4))
+        for i in range(10):
+            aa.insert("vmdk", entry(i))
+        aa.flush()
+        assert (tmp_path / "vmdk").exists()
+        assert aa.lookup("vmdk", fp(3)) == entry(3)
+        aa.close()
+
+    def test_approximate_bytes_grows(self):
+        aa = AppAwareIndex()
+        base = aa.approximate_bytes()
+        aa.insert("a", entry(1))
+        assert aa.approximate_bytes() > base

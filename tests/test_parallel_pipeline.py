@@ -1,0 +1,133 @@
+"""Tests for parallel per-application dedup and the pipeline simulator."""
+
+import pytest
+
+from repro.cloud import InMemoryBackend
+from repro.core import (
+    BackupClient,
+    RestoreClient,
+    aa_dedupe_config,
+)
+from repro.errors import ConfigError
+from repro.simulate.pipeline import backup_window, simulate_two_stage_pipeline
+from repro.util.units import KIB, MB
+from repro.workloads import (
+    WorkloadGenerator,
+    materialize_snapshot,
+    snapshot_to_memory_source,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    generator = WorkloadGenerator(total_bytes=14 * MB, seed=19,
+                                  max_mean_file_size=1 * MB)
+    return generator.initial_snapshot()
+
+
+class TestParallelDedup:
+    def test_equivalent_to_serial(self, snapshot):
+        serial_cloud = InMemoryBackend()
+        serial = BackupClient(
+            serial_cloud, aa_dedupe_config(container_size=64 * KIB))
+        s_stats = serial.backup(snapshot_to_memory_source(snapshot))
+
+        parallel_cloud = InMemoryBackend()
+        parallel = BackupClient(
+            parallel_cloud, aa_dedupe_config(container_size=64 * KIB,
+                                             parallel_workers=4))
+        p_stats = parallel.backup(snapshot_to_memory_source(snapshot))
+
+        # Identical dedup outcome (order-independent quantities).
+        assert p_stats.bytes_scanned == s_stats.bytes_scanned
+        assert p_stats.bytes_unique == s_stats.bytes_unique
+        assert p_stats.files_total == s_stats.files_total
+        assert p_stats.files_tiny == s_stats.files_tiny
+        assert p_stats.app_scanned == s_stats.app_scanned
+        assert p_stats.app_unique == s_stats.app_unique
+        assert parallel.index.sizes() == serial.index.sizes()
+
+    def test_parallel_restores_bit_exact(self, snapshot):
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, aa_dedupe_config(
+            container_size=64 * KIB, parallel_workers=3))
+        client.backup(snapshot_to_memory_source(snapshot))
+        restored, _ = RestoreClient(cloud).restore_to_memory(0)
+        assert restored == materialize_snapshot(snapshot)
+
+    def test_parallel_multi_session(self, snapshot):
+        gen = WorkloadGenerator(total_bytes=14 * MB, seed=19,
+                                max_mean_file_size=1 * MB)
+        snaps = list(gen.sessions(2))
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, aa_dedupe_config(
+            container_size=64 * KIB, parallel_workers=4))
+        client.backup(snapshot_to_memory_source(snaps[0]))
+        s2 = client.backup(snapshot_to_memory_source(snaps[1]))
+        assert s2.dedup_ratio > 3
+        restored, _ = RestoreClient(cloud).restore_to_memory(1)
+        assert restored == materialize_snapshot(snaps[1])
+
+    def test_parallel_with_pipelined_uploads(self, snapshot):
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, aa_dedupe_config(
+            container_size=64 * KIB, parallel_workers=3,
+            pipeline_uploads=True))
+        client.backup(snapshot_to_memory_source(snapshot))
+        restored, _ = RestoreClient(cloud).restore_to_memory(0)
+        assert restored == materialize_snapshot(snapshot)
+
+    def test_config_guards(self):
+        with pytest.raises(ConfigError):
+            aa_dedupe_config(parallel_workers=0)
+        with pytest.raises(ConfigError):
+            aa_dedupe_config(parallel_workers=2, index_layout="global")
+        from repro.baselines import jungle_disk_config, sam_config
+        with pytest.raises(ConfigError):
+            jungle_disk_config(parallel_workers=2)
+        with pytest.raises(ConfigError):
+            sam_config(parallel_workers=2, file_level_first=True,
+                       index_layout="app")
+
+
+class TestPipelineSimulator:
+    def test_empty(self):
+        assert simulate_two_stage_pipeline([], []) == 0.0
+
+    def test_single_item_is_sum(self):
+        assert simulate_two_stage_pipeline([3.0], [4.0]) == 7.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            simulate_two_stage_pipeline([1.0], [])
+
+    def test_bounds(self):
+        s1 = [1.0, 2.0, 0.5, 3.0, 1.5]
+        s2 = [2.0, 1.0, 2.5, 0.5, 2.0]
+        makespan = simulate_two_stage_pipeline(s1, s2)
+        lower = max(sum(s1), sum(s2))
+        assert lower <= makespan <= sum(s1) + sum(s2)
+
+    def test_converges_to_paper_formula(self):
+        # Many small items: the DES makespan approaches
+        # max(dedup_total, transfer_total) — the paper's BWS.
+        n = 500
+        s1 = [0.01] * n      # dedup per container
+        s2 = [0.03] * n      # upload per container (transfer-bound)
+        makespan = simulate_two_stage_pipeline(s1, s2)
+        closed_form = backup_window(sum(s1), sum(s2), pipelined=True)
+        assert makespan == pytest.approx(closed_form, rel=0.01)
+
+    def test_dedup_bound_case(self):
+        n = 300
+        makespan = simulate_two_stage_pipeline([0.05] * n, [0.01] * n)
+        assert makespan == pytest.approx(
+            backup_window(0.05 * n, 0.01 * n), rel=0.01)
+
+    def test_queue_depth_backpressure(self):
+        # A slow stage 2 with a tiny queue throttles stage 1.
+        s1 = [0.0] * 50
+        s2 = [1.0] * 50
+        deep = simulate_two_stage_pipeline(s1, s2, queue_depth=50)
+        shallow = simulate_two_stage_pipeline(s1, s2, queue_depth=1)
+        assert shallow >= deep

@@ -1,0 +1,69 @@
+"""Tests for the per-application statistics breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import InMemoryBackend
+from repro.core import BackupClient, MemorySource, aa_dedupe_config
+from repro.core.stats import SessionStats
+from repro.trace import TraceBackupClient
+from repro.util.units import MB
+from repro.workloads import WorkloadGenerator, snapshot_to_memory_source
+
+
+class TestSessionStatsApi:
+    def test_note_app_accumulates(self):
+        stats = SessionStats(session_id=0, scheme="x")
+        stats.note_app("mp3", 100, 100)
+        stats.note_app("mp3", 50, 0)
+        assert stats.app_scanned["mp3"] == 150
+        assert stats.app_unique["mp3"] == 100
+        assert stats.app_dedup_ratio("mp3") == pytest.approx(1.5)
+
+    def test_ratio_edge_cases(self):
+        stats = SessionStats(session_id=0, scheme="x")
+        assert stats.app_dedup_ratio("ghost") == 1.0
+        stats.note_app("doc", 100, 0)
+        assert stats.app_dedup_ratio("doc") == float("inf")
+
+
+class TestEngineBreakdown:
+    @pytest.fixture()
+    def dataset(self, rng):
+        def blob(n):
+            return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+        dup = blob(30_000)
+        return {
+            "m/a.mp3": dup,
+            "m/b.mp3": dup,           # whole-file duplicate
+            "d/c.doc": blob(25_000),
+            "v/d.vmdk": blob(40_000),
+        }
+
+    def test_per_app_sums_match_totals(self, dataset):
+        client = BackupClient(InMemoryBackend(), aa_dedupe_config())
+        stats = client.backup(MemorySource(dataset))
+        assert sum(stats.app_scanned.values()) == stats.bytes_scanned
+        assert sum(stats.app_unique.values()) == stats.bytes_unique
+
+    def test_duplicate_attributed_to_right_app(self, dataset):
+        client = BackupClient(InMemoryBackend(), aa_dedupe_config())
+        stats = client.backup(MemorySource(dataset))
+        assert stats.app_scanned["mp3"] == 60_000
+        assert stats.app_unique["mp3"] == 30_000
+        assert stats.app_dedup_ratio("mp3") == pytest.approx(2.0)
+        # Unrelated apps saw no dedup in session 1.
+        assert stats.app_dedup_ratio("vmdk") == pytest.approx(1.0)
+
+    def test_engines_agree_per_app(self):
+        generator = WorkloadGenerator(total_bytes=12 * MB, seed=14,
+                                      max_mean_file_size=1 * MB)
+        snapshot = generator.initial_snapshot()
+        trace = TraceBackupClient(aa_dedupe_config()).backup(snapshot)
+        real = BackupClient(InMemoryBackend(), aa_dedupe_config()).backup(
+            snapshot_to_memory_source(snapshot))
+        assert trace.app_scanned == real.app_scanned
+        for app in trace.app_unique:
+            assert trace.app_unique[app] == pytest.approx(
+                real.app_unique[app], rel=0.15)

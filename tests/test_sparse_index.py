@@ -1,0 +1,100 @@
+"""Tests for the Sparse Indexing comparator (repro.index.sparse)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.sparse import SparseIndexDeduper
+
+
+def stream_of(ids, length=8192):
+    return [(int(i), length) for i in ids]
+
+
+class TestSparseIndexDeduper:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseIndexDeduper(segment_chunks=0)
+        with pytest.raises(ValueError):
+            SparseIndexDeduper(max_champions=0)
+
+    def test_no_duplicates_all_unique(self):
+        dedup = SparseIndexDeduper(segment_chunks=16, sample_bits=2)
+        dedup.push_stream(stream_of(range(1, 101)))
+        stats = dedup.finish()
+        assert stats.chunks_total == 100
+        assert stats.chunks_deduped <= 25  # low-id collisions only
+        assert stats.bytes_unique + stats.bytes_deduped == stats.bytes_total
+
+    def test_repeated_stream_mostly_dedups(self):
+        rng = np.random.default_rng(1)
+        ids = rng.integers(1, 2**60, size=2000)
+        dedup = SparseIndexDeduper(segment_chunks=128, sample_bits=4,
+                                   max_champions=4)
+        dedup.push_stream(stream_of(ids))
+        dedup.push_stream(stream_of(ids))  # the second "weekly full"
+        stats = dedup.finish()
+        # The second pass re-presents identical segments: hook overlap
+        # finds the right champions and nearly everything dedups.
+        assert stats.chunks_deduped >= 0.9 * len(ids)
+
+    def test_approximate_misses_without_hooks(self):
+        # A duplicate region with NO sampled hook cannot be found — the
+        # defining limitation vs exact indexing.
+        dedup = SparseIndexDeduper(segment_chunks=8, sample_bits=8,
+                                   max_champions=2)
+        # ids chosen so none is a hook (low 8 bits never zero).
+        ids = [(i << 9) | 1 for i in range(1, 17)]
+        dedup.push_stream(stream_of(ids))
+        dedup.push_stream(stream_of(ids))
+        stats = dedup.finish()
+        assert stats.chunks_deduped == 0  # exact dedup would find 16
+
+    def test_intra_segment_duplicates_found(self):
+        dedup = SparseIndexDeduper(segment_chunks=32)
+        dedup.push_stream(stream_of([5, 6, 7, 5, 6, 7]))
+        stats = dedup.finish()
+        assert stats.chunks_deduped == 3
+
+    def test_ram_is_sampled(self):
+        rng = np.random.default_rng(2)
+        ids = rng.integers(1, 2**60, size=5000)
+        dedup = SparseIndexDeduper(segment_chunks=256, sample_bits=6)
+        dedup.push_stream(stream_of(ids))
+        dedup.finish()
+        # ~1/64 of fingerprints are hooks.
+        assert dedup.ram_entries() < len(ids) / 16
+        assert dedup.manifest_entries() == dedup.stats.chunks_total
+
+    def test_champion_budget_respected(self):
+        rng = np.random.default_rng(3)
+        ids = rng.integers(1, 2**60, size=4000)
+        dedup = SparseIndexDeduper(segment_chunks=128, max_champions=2)
+        for _ in range(3):
+            dedup.push_stream(stream_of(ids))
+        stats = dedup.finish()
+        assert stats.champions_loaded <= 2 * stats.segments_processed
+
+    def test_dedup_ratio_property(self):
+        dedup = SparseIndexDeduper(segment_chunks=64)
+        dedup.push_stream(stream_of(range(1, 65)))
+        dedup.push_stream(stream_of(range(1, 65)))
+        stats = dedup.finish()
+        assert stats.dedup_ratio == pytest.approx(
+            stats.bytes_total / stats.bytes_unique)
+        assert stats.dedup_ratio > 1.5
+
+    @given(st.lists(st.integers(1, 2**40), min_size=1, max_size=300),
+           st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_property_conservation(self, ids, segment_chunks):
+        dedup = SparseIndexDeduper(segment_chunks=segment_chunks,
+                                   sample_bits=3)
+        dedup.push_stream(stream_of(ids, length=100))
+        stats = dedup.finish()
+        assert stats.chunks_total == len(ids)
+        assert stats.bytes_unique + stats.bytes_deduped == 100 * len(ids)
+        # Never dedups more than exact dedup could.
+        max_dupes = len(ids) - len(set(ids))
+        assert stats.chunks_deduped <= max_dupes
