@@ -13,12 +13,20 @@ We provide:
   protocol overhead (why tiny uploads are slow — Sec. II-B);
 * :class:`~repro.cloud.simulated.SimulatedCloud` — wraps any backend,
   advancing a virtual clock per the WAN model and computing S3 bills via
-  :class:`~repro.cloud.pricing.PriceBook`.
+  :class:`~repro.cloud.pricing.PriceBook`;
+* :class:`~repro.cloud.faults.ChaosBackend` — deterministic fault
+  injection (transient/permanent errors, lost acks, bit flips, latency
+  spikes) for any backend;
+* :class:`~repro.cloud.retry.RetryPolicy` — exponential backoff with
+  decorrelated jitter and a retry budget, sleeping on the injected
+  clock (see docs/RESILIENCE.md).
 """
 
 from repro.cloud.base import CloudBackend, CloudStats
 from repro.cloud.memory import InMemoryBackend
 from repro.cloud.local import LocalDirectoryBackend
+from repro.cloud.faults import ChaosBackend, ChaosStats
+from repro.cloud.retry import RetryPolicy, RetryStats
 from repro.cloud.wan import WANLink
 from repro.cloud.pricing import PriceBook, S3_APRIL_2011
 from repro.cloud.simulated import SimulatedCloud
@@ -28,6 +36,10 @@ __all__ = [
     "CloudStats",
     "InMemoryBackend",
     "LocalDirectoryBackend",
+    "ChaosBackend",
+    "ChaosStats",
+    "RetryPolicy",
+    "RetryStats",
     "WANLink",
     "PriceBook",
     "S3_APRIL_2011",

@@ -1,0 +1,158 @@
+"""Deterministic fault injection for cloud backends.
+
+The paper's deployment target is a consumer WAN (~500 KB/s 802.11g), a
+link that *will* drop connections, time out, and occasionally corrupt a
+payload.  :class:`ChaosBackend` wraps any
+:class:`~repro.cloud.base.CloudBackend` and injects exactly those
+failures, driven by a seeded PRNG so every test and benchmark replays
+bit-identically:
+
+* **transient errors** — each operation independently fails with
+  :class:`~repro.errors.TransientCloudError` at ``transient_error_rate``
+  (the side effect does *not* happen);
+* **lost acks** — a put succeeds durably but the acknowledgement is
+  lost (``ack_loss_rate``), so the client sees a transient error and
+  must retry an already-stored object — the classic idempotency trap;
+* **permanent errors** — keys listed in ``permanent_error_keys`` always
+  fail with :class:`~repro.errors.PermanentCloudError` (never retried);
+* **bit-flip corruption** — a get returns the payload with one flipped
+  bit at ``corrupt_rate`` (transport corruption; the stored object is
+  untouched, so a retry would return clean bytes);
+* **latency spikes** — operations stall an extra
+  ``latency_spike_seconds`` at ``latency_spike_rate``.  The backend has
+  no clock of its own; it accumulates the stall in
+  :meth:`consume_spike_seconds`, which
+  :class:`~repro.cloud.simulated.SimulatedCloud` drains into its WAN
+  timing and virtual clock after every call.
+
+Because :class:`ChaosBackend` *is* a backend, its inherited
+:class:`~repro.cloud.base.CloudStats` count every attempt (including
+failed ones) — which is precisely the wasted-bytes signal the chaos
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.cloud.base import CloudBackend
+from repro.errors import PermanentCloudError, TransientCloudError
+
+__all__ = ["ChaosStats", "ChaosBackend"]
+
+
+@dataclass
+class ChaosStats:
+    """Count of each fault kind injected so far."""
+
+    transient_errors: int = 0
+    lost_acks: int = 0
+    permanent_errors: int = 0
+    corruptions: int = 0
+    latency_spikes: int = 0
+    spike_seconds: float = 0.0
+
+    @property
+    def total_faults(self) -> int:
+        """All injected faults (spikes included)."""
+        return (self.transient_errors + self.lost_acks
+                + self.permanent_errors + self.corruptions
+                + self.latency_spikes)
+
+
+class ChaosBackend(CloudBackend):
+    """A fault-injecting wrapper around another backend.
+
+    All parameters default to "no faults", so a zero-configured wrapper
+    is a transparent pass-through (handy for parameter sweeps that
+    include a fault-free baseline).
+    """
+
+    def __init__(self,
+                 inner: CloudBackend,
+                 *,
+                 seed: int = 0,
+                 transient_error_rate: float = 0.0,
+                 ack_loss_rate: float = 0.0,
+                 permanent_error_keys: Iterable[str] = (),
+                 corrupt_rate: float = 0.0,
+                 latency_spike_rate: float = 0.0,
+                 latency_spike_seconds: float = 2.0) -> None:
+        super().__init__()
+        for name, rate in (("transient_error_rate", transient_error_rate),
+                           ("ack_loss_rate", ack_loss_rate),
+                           ("corrupt_rate", corrupt_rate),
+                           ("latency_spike_rate", latency_spike_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.inner = inner
+        self.seed = seed
+        self.transient_error_rate = transient_error_rate
+        self.ack_loss_rate = ack_loss_rate
+        self.permanent_error_keys = frozenset(permanent_error_keys)
+        self.corrupt_rate = corrupt_rate
+        self.latency_spike_rate = latency_spike_rate
+        self.latency_spike_seconds = latency_spike_seconds
+        self.chaos = ChaosStats()
+        self._rng = random.Random(seed)
+        self._pending_spike = 0.0
+
+    # -- fault rolls ----------------------------------------------------
+    def _roll(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate
+
+    def _inject(self, op: str, key: str) -> None:
+        """Common pre-operation faults: spike, permanent, transient."""
+        if self._roll(self.latency_spike_rate):
+            self.chaos.latency_spikes += 1
+            self.chaos.spike_seconds += self.latency_spike_seconds
+            self._pending_spike += self.latency_spike_seconds
+        if key in self.permanent_error_keys:
+            self.chaos.permanent_errors += 1
+            raise PermanentCloudError(
+                f"injected permanent failure: {op} {key!r}")
+        if self._roll(self.transient_error_rate):
+            self.chaos.transient_errors += 1
+            raise TransientCloudError(
+                f"injected transient failure: {op} {key!r}")
+
+    def consume_spike_seconds(self) -> float:
+        """Return and reset latency-spike seconds accumulated since the
+        last call (drained by :class:`SimulatedCloud` into WAN time)."""
+        pending, self._pending_spike = self._pending_spike, 0.0
+        return pending
+
+    # -- backend primitives ---------------------------------------------
+    def _put(self, key: str, data: bytes) -> None:
+        self._inject("put", key)
+        self.inner._put(key, data)
+        if self._roll(self.ack_loss_rate):
+            # The object IS durably stored; only the ack was lost.
+            self.chaos.lost_acks += 1
+            raise TransientCloudError(
+                f"injected lost ack: put {key!r} (object stored)")
+
+    def _get(self, key: str) -> Optional[bytes]:
+        self._inject("get", key)
+        data = self.inner._get(key)
+        if data and self._roll(self.corrupt_rate):
+            self.chaos.corruptions += 1
+            flipped = bytearray(data)
+            pos = self._rng.randrange(len(flipped))
+            flipped[pos] ^= 1 << self._rng.randrange(8)
+            return bytes(flipped)
+        return data
+
+    def _delete(self, key: str) -> bool:
+        self._inject("delete", key)
+        return self.inner._delete(key)
+
+    def _list(self, prefix: str) -> Iterator[str]:
+        self._inject("list", prefix)
+        return self.inner._list(prefix)
+
+    def stored_bytes(self) -> int:
+        """Delegates to the wrapped backend (no faults on accounting)."""
+        return self.inner.stored_bytes()

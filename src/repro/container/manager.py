@@ -146,6 +146,20 @@ class ContainerManager:
         """Id that the next opened container will receive."""
         return self._next_id
 
+    def set_next_id(self, container_id: int) -> None:
+        """Restart id allocation at ``container_id``.
+
+        Used by journal-based session resume, which must replay the
+        interrupted run's numbering so re-generated containers land on
+        their original keys.  Refuses while containers are open (their
+        ids are already assigned).
+        """
+        with self._lock:
+            if self._open:
+                raise ContainerError(
+                    "cannot renumber with open containers")
+            self._next_id = container_id
+
     def open_streams(self) -> list[str]:
         """Names of streams with a currently open container."""
         return sorted(self._open)

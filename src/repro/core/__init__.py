@@ -19,6 +19,7 @@ from repro.core.recipe import ChunkRef, FileEntry, Manifest
 from repro.core.stats import OpCounters, SessionStats
 from repro.core.options import SchemeConfig, aa_dedupe_config
 from repro.core.backup import BackupClient
+from repro.core.journal import SessionJournal
 from repro.core.restore import RestoreClient, restore_session
 from repro.core.sync import IndexSynchronizer
 from repro.core.gc import collect_garbage, GCReport
@@ -35,6 +36,7 @@ __all__ = [
     "SchemeConfig",
     "aa_dedupe_config",
     "BackupClient",
+    "SessionJournal",
     "RestoreClient",
     "restore_session",
     "IndexSynchronizer",

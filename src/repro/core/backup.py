@@ -32,12 +32,14 @@ from repro.classify.filetype import classify_name
 from repro.classify.policy import DedupPolicy
 from repro.container.manager import ContainerManager
 from repro.core import naming
+from repro.cloud.retry import RetryPolicy
+from repro.core.journal import SessionJournal
 from repro.core.options import SchemeConfig, aa_dedupe_config
 from repro.core.recipe import ChunkRef, FileEntry, Manifest
 from repro.core.source import SourceFile
 from repro.core.stats import SessionStats
 from repro.core.sync import IndexSynchronizer
-from repro.errors import BackupError
+from repro.errors import BackupError, CloudError
 from repro.hashing.base import get_hash
 from repro.index.appaware import AppAwareIndex
 from repro.index.base import ChunkIndex, IndexEntry
@@ -51,11 +53,23 @@ _FILE_TIER_POLICY = DedupPolicy("wfc", "sha1")
 
 class _PipelinedUploader:
     """Bounded-queue background uploader overlapping WAN transfer with
-    deduplication; errors surface on :meth:`drain`."""
+    deduplication.
+
+    Fails fast: after the first upload error the worker *drops* all
+    queued work (nothing further is uploaded) and new submits are
+    rejected; the error re-raises on :meth:`drain`/:meth:`close`.
+    :meth:`close` always joins the worker thread, error or not, so no
+    thread outlives the session.  ``on_success(key, blob)`` (when given)
+    runs on the worker thread after each durable upload — the hook the
+    session journal uses to record completed uploads.
+    """
 
     def __init__(self, put: Callable[[str, bytes], None],
-                 depth: int = 4) -> None:
+                 depth: int = 4,
+                 on_success: Optional[Callable[[str, bytes], None]] = None
+                 ) -> None:
         self._put = put
+        self._on_success = on_success
         self._queue: "queue.Queue" = queue.Queue(maxsize=depth)
         self._error: Optional[BaseException] = None
         self.busy_seconds = 0.0
@@ -67,12 +81,18 @@ class _PipelinedUploader:
         while True:
             item = self._queue.get()
             if item is None:
+                self._queue.task_done()
                 return
+            if self._error is not None:  # fail fast: drop queued work
+                self._queue.task_done()
+                continue
             key, blob = item
             start = time.perf_counter()
             try:
                 self._put(key, blob)
-            except BaseException as exc:  # propagate on drain
+                if self._on_success is not None:
+                    self._on_success(key, blob)
+            except BaseException as exc:  # propagate on drain/close
                 self._error = exc
             finally:
                 self.busy_seconds += time.perf_counter() - start
@@ -91,10 +111,12 @@ class _PipelinedUploader:
             raise BackupError("pipelined upload failed") from self._error
 
     def close(self) -> None:
-        """Drain and stop the worker thread."""
-        self.drain()
+        """Stop and join the worker thread, then surface any error."""
+        self._queue.join()
         self._queue.put(None)
         self._thread.join()
+        if self._error is not None:
+            raise BackupError("pipelined upload failed") from self._error
 
 
 class BackupClient:
@@ -110,6 +132,7 @@ class BackupClient:
                  config: SchemeConfig | None = None,
                  index_factory: Callable[[str], ChunkIndex] | None = None,
                  master_key: bytes | None = None,
+                 retry: Optional[RetryPolicy] = None,
                  ) -> None:
         self.cloud = cloud
         self.config = config or aa_dedupe_config()
@@ -117,6 +140,10 @@ class BackupClient:
             raise BackupError(
                 "encrypt_chunks requires a master_key")
         self.master_key = master_key
+        #: Optional client-side retry for the upload path.  When the
+        #: cloud facade already retries (SimulatedCloud(retry=...)),
+        #: leave this None — stacking both would retry retries.
+        self.retry = retry
         self.index = AppAwareIndex(factory=index_factory)
         self.manifests: Dict[int, Manifest] = {}
         self._prev_manifest: Optional[Manifest] = None
@@ -127,7 +154,8 @@ class BackupClient:
         self._uploader: Optional[_PipelinedUploader] = None
         self._upload_watch = Stopwatch()
         self._cloud_lock = threading.Lock()
-        self._sync = IndexSynchronizer(cloud)
+        self._journal: Optional[SessionJournal] = None
+        self._sync = IndexSynchronizer(cloud, retry=retry)
         self._containers = ContainerManager(
             upload=self._upload_container,
             container_size=self.config.container_size,
@@ -152,16 +180,50 @@ class BackupClient:
         return max(ids, default=-1) + 1
 
     # ------------------------------------------------------------------
+    def _cloud_put(self, key: str, blob: bytes) -> None:
+        """One cloud PUT, retried per the client retry policy if set."""
+        if self.retry is not None:
+            self.retry.call(self.cloud.put, key, blob)
+        else:
+            self.cloud.put(key, blob)
+
     def _put(self, key: str, blob: bytes) -> None:
+        journal = self._journal
+        if journal is not None and journal.completed(key, blob):
+            return  # durably uploaded by the interrupted run
         if self._uploader is not None:
             self._uploader.submit(key, blob)
         else:
             with self._cloud_lock:
                 with self._upload_watch:
-                    self.cloud.put(key, blob)
+                    self._cloud_put(key, blob)
+                if journal is not None:
+                    journal.record(key, blob)
 
     def _upload_container(self, container_id: int, blob: bytes) -> None:
         self._put(naming.container_key(container_id), blob)
+
+    def _open_journal(self, session_id: int) -> SessionJournal:
+        """Open (or resume) the session journal for ``session_id``.
+
+        When an interrupted run left a journal in the cloud, container
+        numbering is rewound to that run's starting id so re-generated
+        containers land on their original keys — the digest check in
+        :meth:`SessionJournal.completed` then skips every upload the
+        crashed run already made durable.
+        """
+        first_id = (self._containers.next_container_id
+                    if self._containers is not None else 0)
+        journal = SessionJournal.load(
+            self.cloud, session_id, first_container_id=first_id,
+            flush_interval=self.config.journal_flush_interval)
+        if journal.resumed and self._containers is not None:
+            self._containers.set_next_id(journal.first_container_id)
+        if not journal.resumed:
+            # Make the starting container id durable before the first
+            # upload, so even an immediate crash resumes correctly.
+            journal.flush()
+        return journal
 
     def _chunker_for(self, policy: DedupPolicy) -> Chunker:
         key = (policy.chunker, tuple(sorted(policy.chunker_params.items())))
@@ -184,8 +246,14 @@ class BackupClient:
         puts_before = self.cloud.stats.put_requests
         up_before = self.cloud.stats.bytes_uploaded
         self._upload_watch = Stopwatch()
+        self._journal = self._open_journal(session_id) \
+            if cfg.resumable else None
         if cfg.pipeline_uploads:
-            self._uploader = _PipelinedUploader(self.cloud.put)
+            journal = self._journal
+            self._uploader = _PipelinedUploader(
+                self._cloud_put,
+                on_success=(journal.record if journal is not None
+                            else None))
         dedup_watch = Stopwatch().start()
         try:
             if cfg.parallel_workers > 1:
@@ -202,21 +270,40 @@ class BackupClient:
         finally:
             dedup_watch.stop()
             if self._uploader is not None:
-                self._uploader.close()
-                stats.upload_wall_seconds = self._uploader.busy_seconds
-                self._uploader = None
+                uploader, self._uploader = self._uploader, None
+                try:
+                    uploader.close()
+                finally:
+                    stats.upload_wall_seconds = uploader.busy_seconds
             else:
                 stats.upload_wall_seconds = self._upload_watch.elapsed
+            if self._journal is not None:
+                stats.resume_skipped_objects = \
+                    self._journal.skipped_objects
+                stats.resume_skipped_bytes = self._journal.skipped_bytes
 
-        # Manifest upload (counted like any other transfer).
+        # Manifest upload (counted like any other transfer).  Its
+        # success is the session's commit record: afterwards the journal
+        # (if any) is obsolete and is deleted.
         manifest_blob = manifest.to_json().encode("utf-8")
         with self._upload_watch:
-            self.cloud.put(naming.manifest_key(session_id), manifest_blob)
+            self._cloud_put(naming.manifest_key(session_id), manifest_blob)
+        if self._journal is not None:
+            self._journal.commit()
+            stats.warnings.extend(self._journal.warnings)
+            self._journal = None
 
         # Periodic index replication for disaster recovery (Sec. III-E).
+        # A failed push degrades to a warning: dedup continuity is
+        # recoverable (the next sync retries the stale subindices), so
+        # it must not fail an otherwise-complete backup.
         if (cfg.index_sync_interval
                 and (session_id + 1) % cfg.index_sync_interval == 0):
-            self._sync.push(self.index)
+            try:
+                self._sync.push(self.index)
+            except CloudError as exc:
+                stats.warnings.append(
+                    f"index sync failed (retried next sync): {exc}")
 
         # Merge index accounting into the op counters.
         idx_stats = self.index.combined_stats()

@@ -5,14 +5,16 @@ from __future__ import annotations
 import hashlib
 
 __all__ = ["container_key", "chunk_key", "file_key", "manifest_key",
-           "index_key", "MANIFEST_PREFIX", "CONTAINER_PREFIX",
-           "CHUNK_PREFIX", "FILE_PREFIX", "INDEX_PREFIX"]
+           "index_key", "journal_key", "MANIFEST_PREFIX",
+           "CONTAINER_PREFIX", "CHUNK_PREFIX", "FILE_PREFIX",
+           "INDEX_PREFIX", "JOURNAL_PREFIX"]
 
 CONTAINER_PREFIX = "containers/"
 CHUNK_PREFIX = "chunks/"
 FILE_PREFIX = "files/"
 MANIFEST_PREFIX = "manifests/"
 INDEX_PREFIX = "index/"
+JOURNAL_PREFIX = "journals/"
 
 
 def container_key(container_id: int) -> str:
@@ -37,6 +39,11 @@ def file_key(session_id: int, path: str) -> str:
 def manifest_key(session_id: int) -> str:
     """Key of a session manifest."""
     return f"{MANIFEST_PREFIX}session-{session_id:06d}.json"
+
+
+def journal_key(session_id: int) -> str:
+    """Key of an in-flight session's upload journal (resume support)."""
+    return f"{JOURNAL_PREFIX}session-{session_id:06d}.json"
 
 
 def index_key(app: str) -> str:

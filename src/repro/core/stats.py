@@ -77,6 +77,13 @@ class SessionStats:
     # -- cloud requests ---------------------------------------------------
     put_requests: int = 0
 
+    # -- resilience -------------------------------------------------------
+    #: Uploads skipped on session resume (journal proved them durable).
+    resume_skipped_objects: int = 0
+    resume_skipped_bytes: int = 0
+    #: Non-fatal degradations (failed index sync, journal maintenance).
+    warnings: list = field(default_factory=list)
+
     # -- work -------------------------------------------------------------
     ops: OpCounters = field(default_factory=OpCounters)
 
@@ -127,6 +134,9 @@ class SessionStats:
         self.files_unchanged += other.files_unchanged
         self.chunks_unique += other.chunks_unique
         self.put_requests += other.put_requests
+        self.resume_skipped_objects += other.resume_skipped_objects
+        self.resume_skipped_bytes += other.resume_skipped_bytes
+        self.warnings.extend(other.warnings)
         self.ops.merge(other.ops)
         for app, n in other.app_scanned.items():
             self.app_scanned[app] = self.app_scanned.get(app, 0) + n

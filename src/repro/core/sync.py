@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core import naming
+from repro.errors import CloudError
 from repro.index.appaware import AppAwareIndex
 from repro.index.base import IndexEntry
 
@@ -22,23 +23,48 @@ __all__ = ["IndexSynchronizer"]
 class IndexSynchronizer:
     """Pushes/pulls the application-aware index to/from cloud storage."""
 
-    def __init__(self, cloud) -> None:
+    def __init__(self, cloud, retry=None) -> None:
         self.cloud = cloud
+        #: Optional :class:`~repro.cloud.retry.RetryPolicy` for pushes.
+        self.retry = retry
         #: Entry counts at last push, used to skip unchanged subindices.
         self._pushed_sizes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def push(self, index: AppAwareIndex) -> int:
-        """Replicate every *changed* subindex; returns objects uploaded."""
+        """Replicate every *changed* subindex; returns objects uploaded.
+
+        Fault-tolerant per subindex: a failed put is skipped (its
+        recorded size stays stale, so the next push retries it) while
+        the remaining subindices still replicate.  When any subindex
+        failed, a :class:`~repro.errors.CloudError` summarising the
+        failures is raised *after* the full pass — the caller decides
+        whether that degrades to a warning (the backup engine does:
+        dedup continuity is recoverable, so an index-sync failure must
+        not fail the backup).
+        """
         uploaded = 0
+        failures = []
         for app, size in index.sizes().items():
             if self._pushed_sizes.get(app) == size:
                 continue  # unchanged since last sync
             blob = b"".join(e.pack()
                             for e in index.subindex(app).entries())
-            self.cloud.put(naming.index_key(app), blob)
+            try:
+                if self.retry is not None:
+                    self.retry.call(self.cloud.put,
+                                    naming.index_key(app), blob)
+                else:
+                    self.cloud.put(naming.index_key(app), blob)
+            except CloudError as exc:
+                failures.append(f"{app}: {exc}")
+                continue
             self._pushed_sizes[app] = size
             uploaded += 1
+        if failures:
+            raise CloudError(
+                f"index sync incomplete ({uploaded} pushed, "
+                f"{len(failures)} failed): " + "; ".join(failures))
         return uploaded
 
     def pull(self, index: AppAwareIndex) -> int:

@@ -16,6 +16,8 @@ __all__ = [
     "ContainerError",
     "ContainerFormatError",
     "CloudError",
+    "TransientCloudError",
+    "PermanentCloudError",
     "ObjectNotFound",
     "BackupError",
     "RestoreError",
@@ -57,8 +59,29 @@ class CloudError(ReproError):
     """Raised by cloud storage backends."""
 
 
-class ObjectNotFound(CloudError, KeyError):
-    """Raised when a requested cloud object key does not exist."""
+class TransientCloudError(CloudError):
+    """A cloud failure expected to clear on retry (timeouts, 5xx, lost
+    acks).  :class:`repro.cloud.retry.RetryPolicy` always retries these."""
+
+
+class PermanentCloudError(CloudError):
+    """A cloud failure that retrying cannot fix (auth, invalid request,
+    a key the fault injector has condemned).  Never retried."""
+
+
+class ObjectNotFound(PermanentCloudError, KeyError):
+    """Raised when a requested cloud object key does not exist.
+
+    The missing key is available as :attr:`key`; ``str()`` renders a
+    readable message rather than ``KeyError``'s quoted-key form.
+    """
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"cloud object not found: {key!r}")
+        self.key = key
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() args[0]
+        return self.args[0]
 
 
 class BackupError(ReproError):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import IndexError_

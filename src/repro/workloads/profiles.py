@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.classify.filetype import Category
-from repro.util.units import GB, KIB, MIB
+from repro.util.units import KIB, MIB
 
 __all__ = [
     "AppProfile",

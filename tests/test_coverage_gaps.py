@@ -8,7 +8,6 @@ from repro.classify import sniff_bytes
 from repro.cloud import InMemoryBackend
 from repro.core import BackupClient, MemorySource, RestoreClient, aa_dedupe_config
 from repro.core.options import SchemeConfig
-from repro.errors import ConfigError
 from repro.hashing.rolling import window_tables
 from repro.metrics.report import Table
 from repro.trace import run_paper_evaluation

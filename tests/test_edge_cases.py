@@ -1,7 +1,6 @@
 """Edge-case and adversarial-input tests across the system."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,7 @@ import pytest
 from repro.analysis import estimate_directory
 from repro.cloud import InMemoryBackend
 from repro.core import BackupClient, DirectorySource, aa_dedupe_config
-from repro.util.units import KIB, MB
+from repro.util.units import KIB
 
 
 @pytest.fixture()

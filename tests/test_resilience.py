@@ -1,0 +1,629 @@
+"""Fault-tolerant transport: chaos injection, retry, resumable sessions.
+
+Everything here runs on a :class:`VirtualClock` — retry backoff and WAN
+stalls advance simulated time only, so the suite is instant and every
+fault sequence replays deterministically from its seed.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    ChaosBackend,
+    InMemoryBackend,
+    RetryPolicy,
+    SimulatedCloud,
+    WANLink,
+)
+from repro.core import (
+    BackupClient,
+    MemorySource,
+    RestoreClient,
+    SessionJournal,
+    aa_dedupe_config,
+    naming,
+)
+from repro.core.backup import _PipelinedUploader
+from repro.core.scrub import scrub_cloud
+from repro.core.sync import IndexSynchronizer
+from repro.errors import (
+    BackupError,
+    CloudError,
+    ObjectNotFound,
+    PermanentCloudError,
+    TransientCloudError,
+)
+from repro.simulate.clock import VirtualClock
+from repro.util.units import KIB
+
+
+@pytest.fixture()
+def files(rng):
+    return {f"docs/report{i}.doc": rng.integers(
+        0, 256, 40_000, dtype=np.uint8).tobytes() for i in range(8)}
+
+
+# ---------------------------------------------------------------------------
+class TestObjectNotFound:
+    def test_str_is_readable(self):
+        exc = ObjectNotFound("containers/42")
+        assert str(exc) == "cloud object not found: 'containers/42'"
+        assert exc.key == "containers/42"
+
+    def test_still_a_keyerror_and_clouderror(self):
+        with pytest.raises(KeyError):
+            InMemoryBackend().get("ghost")
+        with pytest.raises(CloudError):
+            InMemoryBackend().get("ghost")
+
+
+# ---------------------------------------------------------------------------
+class TestChaosBackend:
+    def test_passthrough_when_quiet(self):
+        be = ChaosBackend(InMemoryBackend())
+        be.put("k", b"v")
+        assert be.get("k") == b"v"
+        assert be.chaos.total_faults == 0
+
+    def test_transient_errors_are_deterministic(self):
+        def run():
+            be = ChaosBackend(InMemoryBackend(), seed=7,
+                              transient_error_rate=0.3)
+            outcomes = []
+            for i in range(50):
+                try:
+                    be.put(f"k{i}", b"x")
+                    outcomes.append("ok")
+                except TransientCloudError:
+                    outcomes.append("fail")
+            return outcomes, be.chaos.transient_errors
+
+        assert run() == run()
+        outcomes, n = run()
+        assert outcomes.count("fail") == n > 0
+
+    def test_transient_put_has_no_side_effect(self):
+        be = ChaosBackend(InMemoryBackend(), seed=1,
+                          transient_error_rate=1.0)
+        with pytest.raises(TransientCloudError):
+            be.put("k", b"v")
+        assert be.inner._get("k") is None
+
+    def test_lost_ack_stores_then_raises(self):
+        be = ChaosBackend(InMemoryBackend(), seed=1, ack_loss_rate=1.0)
+        with pytest.raises(TransientCloudError):
+            be.put("k", b"v")
+        assert be.inner._get("k") == b"v"
+        assert be.chaos.lost_acks == 1
+
+    def test_permanent_error_keys(self):
+        be = ChaosBackend(InMemoryBackend(),
+                          permanent_error_keys={"poison"})
+        be.put("fine", b"v")
+        with pytest.raises(PermanentCloudError):
+            be.put("poison", b"v")
+        assert not RetryPolicy.is_retryable(
+            pytest.raises(PermanentCloudError, be.get, "poison").value)
+
+    def test_bit_flip_corruption_is_transport_only(self):
+        be = ChaosBackend(InMemoryBackend(), seed=3, corrupt_rate=1.0)
+        be.inner._put("k", bytes(100))
+        corrupted = be.get("k")
+        assert corrupted != bytes(100)
+        assert len(corrupted) == 100
+        # exactly one bit differs
+        diff = [a ^ b for a, b in zip(corrupted, bytes(100))]
+        assert sum(bin(d).count("1") for d in diff) == 1
+        # the stored object is untouched; a clean read would succeed
+        assert be.inner._get("k") == bytes(100)
+
+    def test_latency_spikes_accumulate_and_drain(self):
+        be = ChaosBackend(InMemoryBackend(), seed=2,
+                          latency_spike_rate=1.0,
+                          latency_spike_seconds=1.5)
+        be.put("k", b"v")
+        assert be.chaos.latency_spikes == 1
+        assert be.consume_spike_seconds() == pytest.approx(1.5)
+        assert be.consume_spike_seconds() == 0.0
+
+    def test_attempts_are_counted_in_backend_stats(self):
+        be = ChaosBackend(InMemoryBackend(), seed=1,
+                          transient_error_rate=1.0)
+        with pytest.raises(TransientCloudError):
+            be.put("k", bytes(10))
+        # the failed attempt still burned requests and bytes
+        assert be.stats.put_requests == 1
+        assert be.stats.bytes_uploaded == 10
+
+
+# ---------------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=5, clock=clock, seed=0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientCloudError("blip")
+            return "done"
+
+        assert policy.call(flaky) == "done"
+        assert calls["n"] == 3
+        assert policy.stats.retries == 2
+        assert clock.now() == pytest.approx(policy.stats.sleep_seconds)
+        assert clock.now() > 0
+
+    def test_exhaustion_raises_original_with_attempt_count(self):
+        policy = RetryPolicy(max_attempts=4, clock=VirtualClock(), seed=0)
+
+        def always_fails():
+            raise TransientCloudError("the original failure")
+
+        with pytest.raises(TransientCloudError) as info:
+            policy.call(always_fails)
+        assert "the original failure" in str(info.value)
+        assert info.value.retry_attempts == 4
+        assert policy.stats.exhausted == 1
+
+    def test_not_found_is_never_retried(self):
+        policy = RetryPolicy(max_attempts=5, clock=VirtualClock())
+        calls = {"n": 0}
+
+        def missing():
+            calls["n"] += 1
+            raise ObjectNotFound("ghost")
+
+        with pytest.raises(ObjectNotFound) as info:
+            policy.call(missing)
+        assert calls["n"] == 1
+        assert info.value.retry_attempts == 1
+
+    def test_permanent_error_is_never_retried(self):
+        policy = RetryPolicy(max_attempts=5, clock=VirtualClock())
+        calls = {"n": 0}
+
+        def denied():
+            calls["n"] += 1
+            raise PermanentCloudError("403")
+
+        with pytest.raises(PermanentCloudError):
+            policy.call(denied)
+        assert calls["n"] == 1
+
+    def test_non_cloud_errors_pass_through(self):
+        policy = RetryPolicy(max_attempts=5, clock=VirtualClock())
+        with pytest.raises(ValueError):
+            policy.call(lambda: (_ for _ in ()).throw(ValueError("x")))
+        assert policy.stats.retries == 0
+
+    def test_retry_budget_bounds_total_sleep(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=100, base_delay=1.0,
+                             max_delay=5.0, retry_budget=10.0,
+                             clock=clock, seed=0)
+        with pytest.raises(TransientCloudError):
+            policy.call(lambda: (_ for _ in ()).throw(
+                TransientCloudError("down")))
+        assert policy.stats.sleep_seconds <= 10.0
+        assert policy.stats.attempts < 100
+
+    def test_backoff_is_decorrelated_jitter(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=6, base_delay=0.2,
+                             max_delay=10.0, retry_budget=1e9,
+                             clock=clock, seed=42)
+        sleeps = []
+        orig = policy._sleep
+
+        def spy(seconds):
+            sleeps.append(seconds)
+            orig(seconds)
+
+        policy._sleep = spy
+        with pytest.raises(TransientCloudError):
+            policy.call(lambda: (_ for _ in ()).throw(
+                TransientCloudError("down")))
+        assert len(sleeps) == 5
+        assert all(0.2 <= s <= 10.0 for s in sleeps)
+
+    def test_deterministic_given_seed(self):
+        def total_sleep(seed):
+            clock = VirtualClock()
+            policy = RetryPolicy(max_attempts=6, clock=clock, seed=seed)
+            with pytest.raises(TransientCloudError):
+                policy.call(lambda: (_ for _ in ()).throw(
+                    TransientCloudError("down")))
+            return clock.now()
+
+        assert total_sleep(9) == total_sleep(9)
+
+
+# ---------------------------------------------------------------------------
+class TestSimulatedCloudResilience:
+    def test_retry_absorbs_transient_faults(self):
+        clock = VirtualClock()
+        cloud = SimulatedCloud(
+            ChaosBackend(InMemoryBackend(), seed=11,
+                         transient_error_rate=0.4),
+            wan=WANLink(), clock=clock,
+            retry=RetryPolicy(max_attempts=10, seed=1))
+        for i in range(20):
+            cloud.put(f"k{i}", b"payload")
+        assert [cloud.get(f"k{i}") for i in range(20)] == [b"payload"] * 20
+        assert cloud.backend.chaos.transient_errors > 0
+
+    def test_retry_policy_inherits_cloud_clock(self):
+        clock = VirtualClock()
+        policy = RetryPolicy(max_attempts=3)
+        SimulatedCloud(InMemoryBackend(), clock=clock, retry=policy)
+        assert policy.clock is clock
+
+    def test_failed_attempts_pay_wan_time(self):
+        wan = WANLink(request_latency=0.1, concurrent_requests=1,
+                      up_bandwidth=1000)
+        cloud = SimulatedCloud(
+            ChaosBackend(InMemoryBackend(), seed=1,
+                         transient_error_rate=1.0),
+            wan=wan, clock=VirtualClock())
+        with pytest.raises(TransientCloudError):
+            cloud.put("k", bytes(1000))
+        assert cloud.upload_seconds == pytest.approx(1.1)
+
+    def test_latency_spikes_charged_to_wan_and_clock(self):
+        clock = VirtualClock()
+        wan = WANLink(request_latency=0.1, concurrent_requests=1,
+                      up_bandwidth=1000)
+        cloud = SimulatedCloud(
+            ChaosBackend(InMemoryBackend(), seed=2,
+                         latency_spike_rate=1.0,
+                         latency_spike_seconds=2.0),
+            wan=wan, clock=clock)
+        cloud.put("k", bytes(1000))
+        assert cloud.upload_seconds == pytest.approx(1.1 + 2.0)
+        assert clock.now() == pytest.approx(1.1 + 2.0)
+
+    def test_exists_charges_amortised_request_latency(self):
+        # Regression (HEAD parity): an existence probe pays exactly a
+        # zero-byte GET — latency amortised across concurrent request
+        # slots — not a full un-amortised round trip.
+        clock = VirtualClock()
+        wan = WANLink(request_latency=0.08, concurrent_requests=4)
+        cloud = SimulatedCloud(InMemoryBackend(), wan=wan, clock=clock)
+        cloud.put("k", b"v")
+        t0 = clock.now()
+        down0 = cloud.download_seconds
+        assert cloud.exists("k")
+        assert clock.now() - t0 == pytest.approx(
+            wan.download_time(0, 1)) == pytest.approx(0.02)
+        assert cloud.download_seconds - down0 == pytest.approx(0.02)
+
+
+# ---------------------------------------------------------------------------
+class TestPipelinedUploaderFailFast:
+    def test_drops_queued_work_after_first_error(self):
+        uploaded, started = [], threading.Event()
+
+        def put(key, blob):
+            started.wait(5)
+            if key == "bad":
+                raise CloudError("boom")
+            uploaded.append(key)
+
+        up = _PipelinedUploader(put, depth=10)
+        up.submit("ok-1", b"x")
+        up.submit("bad", b"x")
+        up.submit("after-1", b"x")
+        up.submit("after-2", b"x")
+        started.set()
+        with pytest.raises(BackupError):
+            up.close()
+        assert uploaded == ["ok-1"]  # nothing after the failure
+
+    def test_rejects_submit_after_error(self):
+        up = _PipelinedUploader(
+            lambda k, b: (_ for _ in ()).throw(CloudError("boom")))
+        up.submit("a", b"x")
+        up._queue.join()
+        with pytest.raises(BackupError):
+            up.submit("b", b"x")
+        with pytest.raises(BackupError):
+            up.close()
+        assert not up._thread.is_alive()
+
+    def test_close_joins_worker_thread_on_success(self):
+        up = _PipelinedUploader(lambda k, b: None)
+        up.submit("a", b"x")
+        up.close()
+        assert not up._thread.is_alive()
+
+    def test_on_success_runs_per_durable_upload(self):
+        seen = []
+        up = _PipelinedUploader(lambda k, b: None,
+                                on_success=lambda k, b: seen.append(k))
+        up.submit("a", b"x")
+        up.submit("b", b"y")
+        up.close()
+        assert seen == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+class _FlakyIndexBackend(InMemoryBackend):
+    """Fails every put under index/ while ``failing`` is True."""
+
+    def __init__(self):
+        super().__init__()
+        self.failing = False
+
+    def _put(self, key, data):
+        if self.failing and key.startswith(naming.INDEX_PREFIX):
+            raise TransientCloudError("index replica put failed")
+        super()._put(key, data)
+
+
+class TestIndexSyncDegradation:
+    def test_push_failure_degrades_to_warning(self, files):
+        cloud = _FlakyIndexBackend()
+        client = BackupClient(cloud, aa_dedupe_config(
+            container_size=32 * KIB))
+        cloud.failing = True
+        stats = client.backup(MemorySource(files), session_id=0)
+        assert stats.files_total == len(files)
+        assert any("index sync failed" in w for w in stats.warnings)
+        assert cloud.list(naming.INDEX_PREFIX) == []
+
+    def test_failed_push_retried_on_next_sync(self, files):
+        cloud = _FlakyIndexBackend()
+        client = BackupClient(cloud, aa_dedupe_config(
+            container_size=32 * KIB))
+        cloud.failing = True
+        client.backup(MemorySource(files), session_id=0)
+        cloud.failing = False
+        stats = client.backup(MemorySource(files), session_id=1)
+        assert stats.warnings == []
+        assert cloud.list(naming.INDEX_PREFIX) != []
+
+    def test_partial_push_keeps_successes(self):
+        # Subindices after the failing one still replicate; only the
+        # failed one stays stale (and is retried next push).
+        from repro.index.appaware import AppAwareIndex
+        from repro.index.base import IndexEntry
+
+        class OnePoisonBackend(InMemoryBackend):
+            def _put(self, key, data):
+                if key == naming.index_key("bad"):
+                    raise TransientCloudError("nope")
+                super()._put(key, data)
+
+        cloud = OnePoisonBackend()
+        index = AppAwareIndex()
+        for app in ("aaa", "bad", "zzz"):
+            index.subindex(app).insert(IndexEntry(
+                fingerprint=app.encode() * 4, container_id=0,
+                offset=0, length=1))
+        sync = IndexSynchronizer(cloud)
+        with pytest.raises(CloudError, match="index sync incomplete"):
+            sync.push(index)
+        stored = cloud.list(naming.INDEX_PREFIX)
+        assert naming.index_key("aaa") in stored
+        assert naming.index_key("zzz") in stored
+        assert naming.index_key("bad") not in stored
+        # the failed subindex is re-pushed once the fault clears
+        cloud.__class__ = InMemoryBackend
+        assert sync.push(index) == 1
+        assert naming.index_key("bad") in cloud.list(naming.INDEX_PREFIX)
+
+
+# ---------------------------------------------------------------------------
+class TestSessionJournal:
+    def test_fresh_when_absent(self):
+        journal = SessionJournal.load(InMemoryBackend(), 0,
+                                      first_container_id=5)
+        assert not journal.resumed
+        assert journal.first_container_id == 5
+        assert len(journal) == 0
+
+    def test_round_trip(self):
+        cloud = InMemoryBackend()
+        journal = SessionJournal(cloud, 3, first_container_id=7)
+        journal.record("containers/0000000007", b"blob-a")
+        journal.record("containers/0000000008", b"blob-b")
+        again = SessionJournal.load(cloud, 3)
+        assert again.resumed
+        assert again.first_container_id == 7
+        assert again.completed("containers/0000000007", b"blob-a")
+        assert not again.completed("containers/0000000007", b"DIFFERENT")
+        assert not again.completed("containers/0000000009", b"blob-a")
+
+    def test_commit_deletes_journal(self):
+        cloud = InMemoryBackend()
+        journal = SessionJournal(cloud, 0)
+        journal.record("k", b"v")
+        assert cloud.list(naming.JOURNAL_PREFIX)
+        journal.commit()
+        assert cloud.list(naming.JOURNAL_PREFIX) == []
+
+    def test_corrupt_journal_degrades_to_fresh(self):
+        cloud = InMemoryBackend()
+        cloud.put(naming.journal_key(0), b"{not json")
+        journal = SessionJournal.load(cloud, 0, first_container_id=2)
+        assert not journal.resumed
+        assert journal.first_container_id == 2
+        assert journal.warnings
+
+    def test_maintenance_failures_never_raise(self):
+        class NoPuts(InMemoryBackend):
+            def _put(self, key, data):
+                raise TransientCloudError("down")
+
+        journal = SessionJournal(NoPuts(), 0)
+        journal.record("k", b"v")  # flush fails silently
+        assert any("journal flush failed" in w for w in journal.warnings)
+
+
+# ---------------------------------------------------------------------------
+class _CrashBackend(InMemoryBackend):
+    """Simulates the process dying after N successful container puts."""
+
+    def __init__(self, crash_after_containers):
+        super().__init__()
+        self.crash_after = crash_after_containers
+        self.container_puts = 0
+        self.armed = True
+        #: container payload bytes offered, per run phase
+        self.container_bytes_put = 0
+
+    def _put(self, key, data):
+        if key.startswith(naming.CONTAINER_PREFIX):
+            if self.armed and self.container_puts >= self.crash_after:
+                raise RuntimeError("simulated crash (power loss)")
+            self.container_puts += 1
+            self.container_bytes_put += len(data)
+        super()._put(key, data)
+
+
+class TestResumableSessions:
+    CONTAINER = 32 * KIB
+
+    def _config(self):
+        return aa_dedupe_config(container_size=self.CONTAINER,
+                                resumable=True)
+
+    def _big_files(self, rng, n=24):
+        return {f"docs/f{i:02d}.doc": rng.integers(
+            0, 256, 36_000, dtype=np.uint8).tobytes() for i in range(n)}
+
+    def test_resume_after_crash_is_byte_identical_and_cheap(self, rng):
+        files = self._big_files(rng)
+        # Size the crash so ~85 % of the containers made it up before
+        # the power went out (dry run on a scratch store to count them).
+        dry = InMemoryBackend()
+        BackupClient(dry, self._config()).backup(MemorySource(files))
+        total_containers = len(dry.list(naming.CONTAINER_PREFIX))
+        crash_after = int(total_containers * 0.85)
+
+        cloud = _CrashBackend(crash_after_containers=crash_after)
+        client = BackupClient(cloud, self._config())
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            client.backup(MemorySource(files), session_id=0)
+        assert cloud.container_puts == crash_after
+        assert cloud.list(naming.JOURNAL_PREFIX)  # interrupted marker
+
+        # Fresh client (process restart), same source, same session id.
+        cloud.armed = False
+        first_run_bytes = cloud.container_bytes_put
+        cloud.container_bytes_put = 0
+        resumed = BackupClient(cloud, self._config())
+        stats = resumed.backup(MemorySource(files), session_id=0)
+
+        # The journal skipped every durable container; the re-run
+        # re-uploaded under 20 % of the session's container bytes.
+        assert stats.resume_skipped_objects == crash_after
+        total_container_bytes = first_run_bytes + cloud.container_bytes_put
+        assert cloud.container_bytes_put < 0.2 * total_container_bytes
+
+        # Converged store: byte-identical restore, clean scrub, no
+        # journal left behind.
+        restored, _ = RestoreClient(cloud).restore_to_memory(0)
+        assert restored == files
+        report = scrub_cloud(cloud)
+        assert report.clean, report.problems
+        assert cloud.list(naming.JOURNAL_PREFIX) == []
+
+    def test_resume_reuses_container_ids(self, rng):
+        files = self._big_files(rng, n=12)
+        cloud = _CrashBackend(crash_after_containers=6)
+        with pytest.raises(RuntimeError):
+            BackupClient(cloud, self._config()).backup(
+                MemorySource(files), session_id=0)
+        ids_before = set(cloud.list(naming.CONTAINER_PREFIX))
+        cloud.armed = False
+        BackupClient(cloud, self._config()).backup(
+            MemorySource(files), session_id=0)
+        # every crashed-run container is referenced, none orphaned
+        assert ids_before <= set(cloud.list(naming.CONTAINER_PREFIX))
+        report = scrub_cloud(cloud)
+        assert report.clean, report.problems
+
+    def test_completed_session_leaves_no_journal(self, rng):
+        files = self._big_files(rng, n=4)
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, self._config())
+        stats = client.backup(MemorySource(files))
+        assert stats.resume_skipped_objects == 0
+        assert cloud.list(naming.JOURNAL_PREFIX) == []
+
+    def test_resumable_off_by_default(self, rng):
+        assert aa_dedupe_config().resumable is False
+
+    def test_pipelined_resume(self, rng):
+        # Journal recording also works on the pipelined upload path
+        # (records happen on the worker thread, after the durable put).
+        files = self._big_files(rng, n=12)
+        cloud = _CrashBackend(crash_after_containers=6)
+        cfg = self._config().with_(pipeline_uploads=True)
+        with pytest.raises((BackupError, RuntimeError)):
+            BackupClient(cloud, cfg).backup(MemorySource(files),
+                                            session_id=0)
+        cloud.armed = False
+        stats = BackupClient(cloud, cfg).backup(MemorySource(files),
+                                                session_id=0)
+        assert stats.resume_skipped_objects == 6
+        restored, _ = RestoreClient(cloud).restore_to_memory(0)
+        assert restored == files
+        assert scrub_cloud(cloud).clean
+
+
+# ---------------------------------------------------------------------------
+class TestChaosBackupAcceptance:
+    """The ISSUE's end-to-end acceptance scenario."""
+
+    def test_aa_dedupe_completes_under_paper_wan_chaos(self, rng):
+        files = {f"docs/f{i:02d}.doc": rng.integers(
+            0, 256, 50_000, dtype=np.uint8).tobytes() for i in range(10)}
+        clock = VirtualClock()
+        chaos = ChaosBackend(InMemoryBackend(), seed=2011,
+                             transient_error_rate=0.05,
+                             latency_spike_rate=0.02,
+                             latency_spike_seconds=3.0)
+        retry = RetryPolicy(max_attempts=8, seed=4, clock=clock)
+        cloud = SimulatedCloud(chaos, clock=clock, retry=retry)
+        client = BackupClient(cloud, aa_dedupe_config(
+            container_size=64 * KIB, resumable=True))
+        stats = client.backup(MemorySource(files))
+
+        assert stats.files_total == len(files)
+        assert chaos.chaos.transient_errors > 0   # faults really fired
+        assert retry.stats.retries >= chaos.chaos.transient_errors
+        restored, _ = RestoreClient(cloud).restore_to_memory(0)
+        assert restored == files
+        report = scrub_cloud(cloud)
+        assert report.clean, report.problems
+        # all sleeps/stalls landed on the virtual clock, instantly
+        assert clock.now() > cloud.transfer_seconds() - 1e-9
+
+    def test_deterministic_replay(self, rng):
+        files = {f"a/f{i}.doc": rng.integers(
+            0, 256, 30_000, dtype=np.uint8).tobytes() for i in range(6)}
+
+        def run():
+            clock = VirtualClock()
+            chaos = ChaosBackend(InMemoryBackend(), seed=5,
+                                 transient_error_rate=0.2)
+            cloud = SimulatedCloud(
+                chaos, clock=clock,
+                retry=RetryPolicy(max_attempts=8, seed=5, clock=clock))
+            BackupClient(cloud, aa_dedupe_config(
+                container_size=64 * KIB)).backup(MemorySource(files))
+            return (clock.now(), chaos.chaos.transient_errors,
+                    cloud.stats.put_requests)
+
+        first, second = run(), run()
+        assert first[1:] == second[1:]
+        # The manifest embeds a wall-clock creation timestamp whose
+        # repr length can differ by a byte or two between runs; the
+        # fault sequence and every request count replay exactly.
+        assert first[0] == pytest.approx(second[0], abs=1e-3)

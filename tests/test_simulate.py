@@ -8,8 +8,6 @@ from hypothesis import strategies as st
 from repro.core.stats import OpCounters
 from repro.errors import SimulationError
 from repro.simulate import (
-    CPUModel,
-    DiskModel,
     IndexResidencyModel,
     PAPER_CPU,
     PAPER_DISK,

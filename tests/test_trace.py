@@ -20,7 +20,7 @@ from repro.trace import (
     wfc_id,
 )
 from repro.util.units import KIB, MB
-from repro.workloads import Composition, Extent, Snapshot, WorkloadGenerator
+from repro.workloads import Composition, Extent, WorkloadGenerator
 from repro.workloads.compose import make_block_id
 from repro.workloads.materialize import snapshot_to_memory_source
 from repro.workloads.profiles import DENSITY_DENSE, DENSITY_SPARSE

@@ -1,6 +1,5 @@
 """Tests for the composition model and workload generator."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,7 +10,6 @@ from repro.workloads import (
     Composition,
     Extent,
     PAPER_PROFILES,
-    Snapshot,
     WorkloadGenerator,
     block_bytes,
     materialize_composition,
