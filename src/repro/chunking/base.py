@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.errors import ChunkingError
+from repro.obs.tracer import NOOP_TRACER
 
 __all__ = ["Chunk", "Chunker", "register_chunker", "get_chunker",
            "available_chunkers"]
@@ -56,6 +57,12 @@ class Chunker(abc.ABC):
     #: Registry name (``"wfc"``, ``"sc"``, ``"cdc"``).
     name: str = ""
 
+    #: Profiling tracer; the engine swaps in a live one under
+    #: ``--profile``.  The boundary scan is the chunker hot loop, so it
+    #: gets its own span (``chunk.cut``) distinct from chunk
+    #: materialisation.
+    tracer = NOOP_TRACER
+
     @abc.abstractmethod
     def cut_points(self, data: bytes) -> List[int]:
         """Return the sorted *end* offsets of each chunk of ``data``.
@@ -68,7 +75,12 @@ class Chunker(abc.ABC):
         """Partition ``data`` into chunks (see class invariants)."""
         if len(data) == 0:
             return []
-        cuts = self.cut_points(data)
+        if self.tracer.enabled:
+            with self.tracer.span("chunk.cut", chunker=self.name,
+                                  bytes=len(data)):
+                cuts = self.cut_points(data)
+        else:
+            cuts = self.cut_points(data)
         if not cuts or cuts[-1] != len(data):
             raise ChunkingError(
                 f"{type(self).__name__}.cut_points must end at len(data)")

@@ -8,6 +8,9 @@
     python -m repro gc      --store /backups/cloud --keep-last 4
     python -m repro scrub   --store /backups/cloud
     python -m repro schemes
+    python -m repro backup  ~/Documents --store /backups/cloud \
+        --profile --trace-out /tmp/backup.trace.jsonl
+    python -m repro trace-profile /tmp/backup.trace.jsonl
 
 The store is a directory-backed object store
 (:class:`repro.cloud.LocalDirectoryBackend`); clients are stateless —
@@ -63,7 +66,12 @@ def cmd_backup(args) -> int:
     if args.container_size:
         config = config.with_(container_size=parse_size(
             args.container_size))
-    client = BackupClient(LocalDirectoryBackend(args.store), config)
+    tracer = None
+    if args.profile:
+        from repro.obs import Tracer
+        tracer = Tracer()  # wall clock: profiles the real run
+    client = BackupClient(LocalDirectoryBackend(args.store), config,
+                          tracer=tracer)
     recovered = client.resume_from_cloud()
     if recovered and not args.quiet:
         print(f"resumed {recovered} index entries from the store")
@@ -75,6 +83,31 @@ def cmd_backup(args) -> int:
               f"({stats.files_tiny} tiny files filtered, "
               f"{stats.chunks_unique} new chunks, "
               f"dedup {format_seconds(stats.dedup_wall_seconds)})")
+    if tracer is not None:
+        from repro.obs import render_profile
+
+        trace_out = args.trace_out or "backup.trace.jsonl"
+        tracer.write_jsonl(trace_out)
+        print(f"trace written to {trace_out} "
+              f"({len(tracer.spans())} spans)")
+        print(render_profile(tracer.spans()))
+        metrics = tracer.metrics.render()
+        if metrics and not args.quiet:
+            print(metrics)
+    return 0
+
+
+def cmd_trace_profile(args) -> int:
+    """Summarise a JSONL trace: stage + per-application breakdown."""
+    from repro.obs import load_spans, render_profile
+
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            spans = load_spans(fh)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    print(render_profile(spans))
     return 0
 
 
@@ -201,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--container-size", default=None,
                    help="override container size, e.g. 1MB")
     p.add_argument("--quiet", action="store_true")
+    p.add_argument("--profile", action="store_true",
+                   help="trace the run; print a stage profile and write "
+                        "a Chrome-compatible JSONL trace")
+    p.add_argument("--trace-out", default=None,
+                   help="trace output path (default backup.trace.jsonl)")
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help=cmd_restore.__doc__)
@@ -237,6 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("schemes", help=cmd_schemes.__doc__)
     p.set_defaults(func=cmd_schemes)
+
+    p = sub.add_parser("trace-profile", help=cmd_trace_profile.__doc__)
+    p.add_argument("trace", help="JSONL trace written by backup --profile")
+    p.set_defaults(func=cmd_trace_profile)
     return parser
 
 

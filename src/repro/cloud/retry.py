@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Callable, TypeVar
 
 from repro.errors import CloudError, ObjectNotFound, PermanentCloudError
+from repro.obs.tracer import NOOP_TRACER
 
 __all__ = ["RetryStats", "RetryPolicy"]
 
@@ -73,6 +74,9 @@ class RetryPolicy:
         self.clock = clock
         self.stats = RetryStats()
         self._rng = random.Random(seed)
+        #: Profiling tracer (``SimulatedCloud`` propagates its own, the
+        #: same way it propagates its clock).
+        self.tracer = NOOP_TRACER
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -83,6 +87,16 @@ class RetryPolicy:
                                          PermanentCloudError)))
 
     def _sleep(self, seconds: float) -> None:
+        if self.tracer.enabled:
+            with self.tracer.span("retry.sleep", seconds=seconds):
+                self._sleep_inner(seconds)
+            self.tracer.metrics.counter("retry_sleeps_total").inc()
+            self.tracer.metrics.counter(
+                "retry_sleep_seconds").inc(seconds)
+            return
+        self._sleep_inner(seconds)
+
+    def _sleep_inner(self, seconds: float) -> None:
         self.stats.sleep_seconds += seconds
         if self.clock is not None and hasattr(self.clock, "advance"):
             self.clock.advance(seconds)

@@ -24,6 +24,7 @@ from repro.cloud.base import CloudBackend
 from repro.cloud.pricing import PriceBook, S3_APRIL_2011
 from repro.cloud.retry import RetryPolicy
 from repro.cloud.wan import WANLink, PAPER_WAN
+from repro.obs.tracer import NOOP_TRACER
 
 __all__ = ["SimulatedCloud"]
 
@@ -42,14 +43,18 @@ class SimulatedCloud:
                  wan: WANLink = PAPER_WAN,
                  prices: PriceBook = S3_APRIL_2011,
                  clock=None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 tracer=None) -> None:
         self.backend = backend
         self.wan = wan
         self.prices = prices
         self.clock = clock
         self.retry = retry
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         if retry is not None and retry.clock is None:
             retry.clock = clock  # backoff sleeps advance the same clock
+        if retry is not None and retry.tracer is NOOP_TRACER:
+            retry.tracer = self.tracer  # sleeps appear in the same trace
         self.upload_seconds = 0.0
         self.download_seconds = 0.0
 
@@ -76,6 +81,29 @@ class SimulatedCloud:
             return self.retry.call(attempt)
         return attempt()
 
+    def _traced_call(self, name: str, attempt, **attrs):
+        """Run ``attempt`` under retry, spanning the call and each
+        individual attempt (retries of one logical operation show up as
+        sibling ``<name>.attempt`` spans under one ``<name>`` parent)."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._call(attempt)
+        counter = {"n": 0}
+
+        def traced_attempt():
+            counter["n"] += 1
+            with tracer.span(name + ".attempt",
+                             attempt=counter["n"], **attrs):
+                return attempt()
+
+        with tracer.span(name, **attrs) as sp:
+            try:
+                return self._call(traced_attempt)
+            finally:
+                sp.set("attempts", counter["n"])
+                tracer.metrics.counter(
+                    "cloud_attempts_total").inc(counter["n"])
+
     # ------------------------------------------------------------------
     def put(self, key: str, data: bytes) -> None:
         """Upload an object (charges WAN upload time, per attempt)."""
@@ -85,7 +113,8 @@ class SimulatedCloud:
             finally:
                 self._charge_up(self.wan.upload_time(len(data), 1))
                 self._drain_chaos()
-        self._call(attempt)
+        self._traced_call("cloud.put", attempt, key=key,
+                          bytes=len(data))
 
     def get(self, key: str) -> bytes:
         """Download an object (charges WAN download time, per attempt)."""
@@ -99,7 +128,7 @@ class SimulatedCloud:
             self._charge_down(self.wan.download_time(len(data), 1))
             self._drain_chaos()
             return data
-        return self._call(attempt)
+        return self._traced_call("cloud.get", attempt, key=key)
 
     def exists(self, key: str) -> bool:
         """HEAD-style existence probe.
@@ -114,7 +143,7 @@ class SimulatedCloud:
             finally:
                 self._charge_down(self.wan.download_time(0, 1))
                 self._drain_chaos()
-        return self._call(attempt)
+        return self._traced_call("cloud.exists", attempt, key=key)
 
     def delete(self, key: str) -> bool:
         """Delete an object (one request latency)."""
@@ -124,7 +153,7 @@ class SimulatedCloud:
             finally:
                 self._advance(self.wan.request_latency)
                 self._drain_chaos()
-        return self._call(attempt)
+        return self._traced_call("cloud.delete", attempt, key=key)
 
     def list(self, prefix: str = "") -> list[str]:
         """List keys (one request latency)."""
@@ -134,7 +163,7 @@ class SimulatedCloud:
             finally:
                 self._advance(self.wan.request_latency)
                 self._drain_chaos()
-        return self._call(attempt)
+        return self._traced_call("cloud.list", attempt, prefix=prefix)
 
     # ------------------------------------------------------------------
     @property

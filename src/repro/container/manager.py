@@ -18,6 +18,8 @@ from typing import Callable, Dict
 
 from repro.container.format import ContainerWriter, FLAG_TINY_FILE
 from repro.errors import ContainerError
+from repro.obs.metrics import CHUNK_SIZE_BUCKETS
+from repro.obs.tracer import NOOP_TRACER
 from repro.util.units import MIB
 
 __all__ = ["ChunkLocation", "ContainerManager"]
@@ -58,7 +60,8 @@ class ContainerManager:
                  upload: Callable[[int, bytes], None],
                  container_size: int = 1 * MIB,
                  pad_containers: bool = True,
-                 first_container_id: int = 0) -> None:
+                 first_container_id: int = 0,
+                 tracer=None) -> None:
         if container_size < 4096:
             raise ContainerError("container_size must be >= 4096")
         self._upload = upload
@@ -67,6 +70,7 @@ class ContainerManager:
         self._next_id = first_container_id
         self._open: Dict[str, ContainerWriter] = {}
         self.stats = ContainerManagerStats()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         # Parallel per-application dedup workers append to different
         # streams but share id allocation, stats and the upload path.
         self._lock = threading.RLock()
@@ -78,7 +82,21 @@ class ContainerManager:
         self._next_id += 1
         return writer
 
-    def _seal(self, writer: ContainerWriter, *, pad: bool) -> None:
+    def _seal(self, writer: ContainerWriter, *, pad: bool,
+              stream: str = "default") -> None:
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._seal_inner(writer, pad)
+            return
+        with tracer.span("container.seal", app=stream,
+                         container=writer.container_id,
+                         bytes=writer.occupancy(), padded=pad):
+            self._seal_inner(writer, pad)
+        tracer.metrics.histogram(
+            "container_payload_bytes",
+            CHUNK_SIZE_BUCKETS).observe(writer.data_size)
+
+    def _seal_inner(self, writer: ContainerWriter, pad: bool) -> None:
         blob = writer.seal(pad_to_capacity=pad)
         self.stats.sealed += 1
         self.stats.bytes_payload += writer.data_size
@@ -112,12 +130,12 @@ class ContainerManager:
             offset = writer.append(fingerprint, data, flags)
             location = ChunkLocation(writer.container_id, offset, len(data))
             self.stats.oversized += 1
-            self._seal(writer, pad=False)
+            self._seal(writer, pad=False, stream=stream)
             return location
 
         writer = self._open.get(stream)
         if writer is not None and not writer.fits(len(data)):
-            self._seal(writer, pad=self.pad_containers)
+            self._seal(writer, pad=self.pad_containers, stream=stream)
             writer = None
         if writer is None:
             writer = self._open[stream] = self._new_writer()
@@ -139,7 +157,8 @@ class ContainerManager:
             for name in streams:
                 writer = self._open.pop(name, None)
                 if writer is not None and writer.chunk_count:
-                    self._seal(writer, pad=self.pad_containers)
+                    self._seal(writer, pad=self.pad_containers,
+                               stream=name)
 
     @property
     def next_container_id(self) -> int:

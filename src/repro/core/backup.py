@@ -43,6 +43,8 @@ from repro.errors import BackupError, CloudError
 from repro.hashing.base import get_hash
 from repro.index.appaware import AppAwareIndex
 from repro.index.base import ChunkIndex, IndexEntry
+from repro.obs.metrics import CHUNK_SIZE_BUCKETS
+from repro.obs.tracer import NOOP_TRACER
 from repro.util.timer import Stopwatch
 
 __all__ = ["BackupClient"]
@@ -66,16 +68,22 @@ class _PipelinedUploader:
 
     def __init__(self, put: Callable[[str, bytes], None],
                  depth: int = 4,
-                 on_success: Optional[Callable[[str, bytes], None]] = None
-                 ) -> None:
+                 on_success: Optional[Callable[[str, bytes], None]] = None,
+                 tracer=None) -> None:
         self._put = put
         self._on_success = on_success
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._queue: "queue.Queue" = queue.Queue(maxsize=depth)
         self._error: Optional[BaseException] = None
         self.busy_seconds = 0.0
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="aa-uploader")
         self._thread.start()
+
+    def _upload_one(self, key: str, blob: bytes) -> None:
+        self._put(key, blob)
+        if self._on_success is not None:
+            self._on_success(key, blob)
 
     def _run(self) -> None:
         while True:
@@ -86,23 +94,34 @@ class _PipelinedUploader:
             if self._error is not None:  # fail fast: drop queued work
                 self._queue.task_done()
                 continue
-            key, blob = item
+            key, blob, app = item
             start = time.perf_counter()
             try:
-                self._put(key, blob)
-                if self._on_success is not None:
-                    self._on_success(key, blob)
+                if self._tracer.enabled:
+                    attrs = {"key": key, "bytes": len(blob)}
+                    if app is not None:
+                        attrs["app"] = app
+                    with self._tracer.span("upload", **attrs):
+                        self._upload_one(key, blob)
+                else:
+                    self._upload_one(key, blob)
             except BaseException as exc:  # propagate on drain/close
                 self._error = exc
             finally:
                 self.busy_seconds += time.perf_counter() - start
                 self._queue.task_done()
 
-    def submit(self, key: str, blob: bytes) -> None:
+    @property
+    def queue_depth(self) -> int:
+        """Items currently waiting in the pipeline (approximate)."""
+        return self._queue.qsize()
+
+    def submit(self, key: str, blob: bytes,
+               app: Optional[str] = None) -> None:
         """Enqueue an upload (blocks when the pipeline is full)."""
         if self._error is not None:
             raise BackupError("pipelined upload failed") from self._error
-        self._queue.put((key, blob))
+        self._queue.put((key, blob, app))
 
     def drain(self) -> None:
         """Wait for all queued uploads; re-raise any worker error."""
@@ -133,6 +152,7 @@ class BackupClient:
                  index_factory: Callable[[str], ChunkIndex] | None = None,
                  master_key: bytes | None = None,
                  retry: Optional[RetryPolicy] = None,
+                 tracer=None,
                  ) -> None:
         self.cloud = cloud
         self.config = config or aa_dedupe_config()
@@ -144,7 +164,14 @@ class BackupClient:
         #: cloud facade already retries (SimulatedCloud(retry=...)),
         #: leave this None — stacking both would retry retries.
         self.retry = retry
-        self.index = AppAwareIndex(factory=index_factory)
+        #: Profiling tracer, propagated into every instrumented layer
+        #: this client owns (index, containers, chunkers, uploader).
+        #: The no-op default keeps the hot path unchanged.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        if retry is not None and retry.tracer is NOOP_TRACER:
+            retry.tracer = self.tracer
+        self.index = AppAwareIndex(factory=index_factory,
+                                   tracer=self.tracer)
         self.manifests: Dict[int, Manifest] = {}
         self._prev_manifest: Optional[Manifest] = None
         self._next_session = 0
@@ -154,6 +181,9 @@ class BackupClient:
         self._uploader: Optional[_PipelinedUploader] = None
         self._upload_watch = Stopwatch()
         self._cloud_lock = threading.Lock()
+        #: Per-thread application label of the file being processed, so
+        #: uploads triggered mid-file can be attributed to its app.
+        self._app_ctx = threading.local()
         self._journal: Optional[SessionJournal] = None
         self._sync = IndexSynchronizer(cloud, retry=retry)
         self._containers = ContainerManager(
@@ -161,6 +191,7 @@ class BackupClient:
             container_size=self.config.container_size,
             pad_containers=self.config.pad_containers,
             first_container_id=self._resume_container_id(),
+            tracer=self.tracer,
         ) if self.config.use_containers else None
 
     def _resume_container_id(self) -> int:
@@ -191,14 +222,29 @@ class BackupClient:
         journal = self._journal
         if journal is not None and journal.completed(key, blob):
             return  # durably uploaded by the interrupted run
+        tracer = self.tracer
+        app = getattr(self._app_ctx, "label", None)
         if self._uploader is not None:
-            self._uploader.submit(key, blob)
+            if tracer.enabled:
+                tracer.metrics.gauge("uploader_queue_depth").set(
+                    self._uploader.queue_depth + 1)
+            self._uploader.submit(key, blob, app=app)
+        elif tracer.enabled:
+            attrs = {"key": key, "bytes": len(blob)}
+            if app is not None:
+                attrs["app"] = app
+            with tracer.span("upload", **attrs):
+                self._put_sync(key, blob, journal)
         else:
-            with self._cloud_lock:
-                with self._upload_watch:
-                    self._cloud_put(key, blob)
-                if journal is not None:
-                    journal.record(key, blob)
+            self._put_sync(key, blob, journal)
+
+    def _put_sync(self, key: str, blob: bytes,
+                  journal: Optional[SessionJournal]) -> None:
+        with self._cloud_lock:
+            with self._upload_watch:
+                self._cloud_put(key, blob)
+            if journal is not None:
+                journal.record(key, blob)
 
     def _upload_container(self, container_id: int, blob: bytes) -> None:
         self._put(naming.container_key(container_id), blob)
@@ -230,6 +276,7 @@ class BackupClient:
         chunker = self._chunkers.get(key)
         if chunker is None:
             chunker = self._chunkers[key] = policy.make_chunker()
+            chunker.tracer = self.tracer
         return chunker
 
     # ------------------------------------------------------------------
@@ -240,6 +287,13 @@ class BackupClient:
         if session_id is None:
             session_id = self._next_session
         self._next_session = session_id + 1
+        with self.tracer.span("session", scheme=cfg.name,
+                              session=session_id):
+            return self._backup_traced(source, session_id)
+
+    def _backup_traced(self, source: Iterable[SourceFile],
+                       session_id: int) -> SessionStats:
+        cfg = self.config
         stats = SessionStats(session_id=session_id, scheme=cfg.name)
         manifest = Manifest(session_id, cfg.name, created=time.time())
         self.index.reset_stats()
@@ -253,7 +307,8 @@ class BackupClient:
             self._uploader = _PipelinedUploader(
                 self._cloud_put,
                 on_success=(journal.record if journal is not None
-                            else None))
+                            else None),
+                tracer=self.tracer)
         dedup_watch = Stopwatch().start()
         try:
             if cfg.parallel_workers > 1:
@@ -286,8 +341,10 @@ class BackupClient:
         # success is the session's commit record: afterwards the journal
         # (if any) is obsolete and is deleted.
         manifest_blob = manifest.to_json().encode("utf-8")
-        with self._upload_watch:
-            self._cloud_put(naming.manifest_key(session_id), manifest_blob)
+        with self.tracer.span("manifest", bytes=len(manifest_blob)):
+            with self._upload_watch:
+                self._cloud_put(naming.manifest_key(session_id),
+                                manifest_blob)
         if self._journal is not None:
             self._journal.commit()
             stats.warnings.extend(self._journal.warnings)
@@ -300,7 +357,8 @@ class BackupClient:
         if (cfg.index_sync_interval
                 and (session_id + 1) % cfg.index_sync_interval == 0):
             try:
-                self._sync.push(self.index)
+                with self.tracer.span("index.sync"):
+                    self._sync.push(self.index)
             except CloudError as exc:
                 stats.warnings.append(
                     f"index sync failed (retried next sync): {exc}")
@@ -362,11 +420,40 @@ class BackupClient:
     # ------------------------------------------------------------------
     def _process_file(self, sf: SourceFile, stats: SessionStats,
                       session_id: int) -> FileEntry:
-        cfg = self.config
         app = classify_name(sf.path)
         stats.files_total += 1
         stats.bytes_scanned += sf.size
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._dedup_file(sf, app, stats, session_id)
+        # The thread-local app label lets uploads fired mid-file (a
+        # container sealing under this file's chunks) carry the right
+        # application attribution in the trace.
+        self._app_ctx.label = app.label
+        try:
+            with tracer.span("file", app=app.label,
+                             category=app.category.value, bytes=sf.size):
+                return self._dedup_file(sf, app, stats, session_id)
+        finally:
+            self._app_ctx.label = None
 
+    def _fingerprint(self, hasher, hash_name: str, payload: bytes,
+                     length: int, app_label: str,
+                     stats: SessionStats) -> bytes:
+        """Hash one extent, charged to op counters and (if profiling)
+        timed under a ``hash`` span."""
+        stats.ops.add_hashed(hash_name, length)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return hasher.hash(payload)
+        with tracer.span("hash", app=app_label, algo=hash_name,
+                         bytes=length):
+            return hasher.hash(payload)
+
+    def _dedup_file(self, sf: SourceFile, app, stats: SessionStats,
+                    session_id: int) -> FileEntry:
+        cfg = self.config
+        tracer = self.tracer
         if cfg.incremental_only:
             return self._process_incremental(sf, app, stats, session_id)
 
@@ -381,8 +468,8 @@ class BackupClient:
             entry.tiny = True
             if sf.size:
                 data, key = self._seal(data)
-                fp = get_hash("sha1").hash(data)
-                stats.ops.add_hashed("sha1", len(data))
+                fp = self._fingerprint(get_hash("sha1"), "sha1", data,
+                                       len(data), app.label, stats)
                 ref = self._store_unique(fp, data, stream="tiny",
                                          tiny=True)
                 entry.refs.append(self._attach_key(ref, key))
@@ -395,8 +482,10 @@ class BackupClient:
         policy = cfg.policy_for(app.category)
         file_fp: Optional[bytes] = None
         if cfg.file_level_first and policy.chunker != "wfc" and sf.size:
-            file_fp = _FILE_TIER_POLICY.fingerprinter().hash(data)
-            stats.ops.add_hashed(_FILE_TIER_POLICY.hash_name, len(data))
+            file_fp = self._fingerprint(
+                _FILE_TIER_POLICY.fingerprinter(),
+                _FILE_TIER_POLICY.hash_name, data, len(data),
+                app.label, stats)
             stats.ops.index_lookups += 1
             recipe = self._file_tier.get(file_fp)
             if recipe is not None:
@@ -410,11 +499,21 @@ class BackupClient:
         namespace = cfg.index_namespace(app.label, policy)
         if isinstance(chunker, RabinCDC):
             stats.ops.cdc_scanned_bytes += len(data)
-        for chunk in chunker.chunk(data):
+        if tracer.enabled:
+            with tracer.span("chunk", app=app.label,
+                             chunker=policy.chunker, bytes=len(data)):
+                chunks = chunker.chunk(data)
+        else:
+            chunks = chunker.chunk(data)
+        for chunk in chunks:
             payload, key = self._seal(chunk.data)
-            fp = hasher.hash(payload)
-            stats.ops.add_hashed(policy.hash_name, chunk.length)
+            fp = self._fingerprint(hasher, policy.hash_name, payload,
+                                   chunk.length, app.label, stats)
             stats.ops.chunks_produced += 1
+            if tracer.enabled:
+                tracer.metrics.histogram(
+                    "chunk_bytes",
+                    CHUNK_SIZE_BUCKETS).observe(chunk.length)
             existing = self.index.lookup(namespace, fp)
             if existing is not None:
                 self.index.insert(namespace, existing.bumped())
@@ -469,8 +568,8 @@ class BackupClient:
         entry = FileEntry(path=sf.path, size=sf.size, mtime_ns=sf.mtime_ns,
                           app=app.label, category=app.category.value)
         if sf.size:
-            fp = get_hash("sha1").hash(data)
-            stats.ops.add_hashed("sha1", len(data))
+            fp = self._fingerprint(get_hash("sha1"), "sha1", data,
+                                   len(data), app.label, stats)
             key = naming.file_key(session_id, sf.path)
             self._put(key, data)
             stats.bytes_unique += len(data)

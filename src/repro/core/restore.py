@@ -24,6 +24,7 @@ from repro.core import naming
 from repro.core.recipe import ChunkRef, Manifest
 from repro.errors import IntegrityError, RestoreError
 from repro.hashing.base import get_hash
+from repro.obs.tracer import NOOP_TRACER
 
 __all__ = ["RestoreClient", "RestoreReport", "restore_session"]
 
@@ -49,10 +50,12 @@ class RestoreClient:
 
     def __init__(self, cloud, verify: bool = True,
                  container_cache_size: int = 8,
-                 master_key: Optional[bytes] = None) -> None:
+                 master_key: Optional[bytes] = None,
+                 tracer=None) -> None:
         self.cloud = cloud
         self.verify = verify
         self.master_key = master_key
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._cache_size = max(1, container_cache_size)
         self._containers: "OrderedDict[int, ContainerReader]" = OrderedDict()
         self._fetched = 0
@@ -68,7 +71,9 @@ class RestoreClient:
         if reader is not None:
             self._containers.move_to_end(container_id)
             return reader
-        blob = self.cloud.get(naming.container_key(container_id))
+        with self.tracer.span("restore.container_fetch",
+                              container=container_id):
+            blob = self.cloud.get(naming.container_key(container_id))
         try:
             reader = ContainerReader(blob)
         except ContainerFormatError as exc:
@@ -113,26 +118,30 @@ class RestoreClient:
                           paths: Optional[list[str]] = None
                           ) -> tuple[Dict[str, bytes], RestoreReport]:
         """Restore a session (or selected ``paths``) into a dict."""
-        manifest = self.load_manifest(session_id)
-        report = RestoreReport(session_id=session_id)
-        wanted = set(paths) if paths is not None else None
-        out: Dict[str, bytes] = {}
-        for entry in manifest:
-            if wanted is not None and entry.path not in wanted:
-                continue
-            pieces = [self._fetch_ref(ref, report) for ref in entry.refs]
-            data = b"".join(pieces)
-            if len(data) != entry.size:
-                raise IntegrityError(
-                    f"file size mismatch for {entry.path!r}")
-            out[entry.path] = data
-            report.files_restored += 1
-            report.bytes_restored += len(data)
-        if wanted is not None and len(out) != len(wanted):
-            missing = sorted(wanted - set(out))
-            raise RestoreError(f"paths not in session: {missing}")
-        report.containers_fetched = self._fetched
-        return out, report
+        with self.tracer.span("restore", session=session_id):
+            manifest = self.load_manifest(session_id)
+            report = RestoreReport(session_id=session_id)
+            wanted = set(paths) if paths is not None else None
+            out: Dict[str, bytes] = {}
+            for entry in manifest:
+                if wanted is not None and entry.path not in wanted:
+                    continue
+                with self.tracer.span("restore.file", app=entry.app,
+                                      bytes=entry.size):
+                    pieces = [self._fetch_ref(ref, report)
+                              for ref in entry.refs]
+                    data = b"".join(pieces)
+                if len(data) != entry.size:
+                    raise IntegrityError(
+                        f"file size mismatch for {entry.path!r}")
+                out[entry.path] = data
+                report.files_restored += 1
+                report.bytes_restored += len(data)
+            if wanted is not None and len(out) != len(wanted):
+                missing = sorted(wanted - set(out))
+                raise RestoreError(f"paths not in session: {missing}")
+            report.containers_fetched = self._fetched
+            return out, report
 
     def restore_to_directory(self, session_id: int,
                              dest: str | os.PathLike,

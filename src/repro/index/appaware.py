@@ -22,6 +22,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.index.base import ChunkIndex, IndexEntry, IndexStats
 from repro.index.memory import MemoryIndex
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.tracer import NOOP_TRACER
 
 __all__ = ["AppAwareIndex"]
 
@@ -39,12 +41,14 @@ class AppAwareIndex:
 
     def __init__(self,
                  factory: Callable[[str], ChunkIndex] | None = None,
-                 max_workers: int = 4) -> None:
+                 max_workers: int = 4,
+                 tracer=None) -> None:
         self._factory = factory or (lambda app: MemoryIndex())
         self._subindices: Dict[str, ChunkIndex] = {}
         self._max_workers = max(1, max_workers)
         self._pool: ThreadPoolExecutor | None = None
         self._create_lock = threading.Lock()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     # ------------------------------------------------------------------
     def subindex(self, app: str) -> ChunkIndex:
@@ -64,11 +68,25 @@ class AppAwareIndex:
 
     def lookup(self, app: str, fingerprint: bytes) -> Optional[IndexEntry]:
         """Route a lookup to ``app``'s subindex only."""
-        return self.subindex(app).lookup(fingerprint)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self.subindex(app).lookup(fingerprint)
+        with tracer.span("index.lookup", app=app) as sp:
+            entry = self.subindex(app).lookup(fingerprint)
+            sp.set("hit", entry is not None)
+        tracer.metrics.histogram(
+            "index_lookup_seconds", LATENCY_BUCKETS).observe(sp.duration)
+        tracer.metrics.counter("index_lookups_total").inc()
+        return entry
 
     def insert(self, app: str, entry: IndexEntry) -> None:
         """Insert into ``app``'s subindex."""
-        self.subindex(app).insert(entry)
+        tracer = self.tracer
+        if not tracer.enabled:
+            self.subindex(app).insert(entry)
+            return
+        with tracer.span("index.insert", app=app):
+            self.subindex(app).insert(entry)
 
     def contains(self, app: str, fingerprint: bytes) -> bool:
         """Membership test within one application's namespace."""

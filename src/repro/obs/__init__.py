@@ -1,0 +1,59 @@
+"""Observability: virtual-clock tracing, metrics, per-stage profiling.
+
+The evaluation harness can *price* a session on the paper's hardware,
+but pricing is not profiling: before any parallelism or caching change
+we need to see where a session actually spends its time — chunking,
+hashing, index probes, container seals, WAN transfer, retry sleeps.
+This package provides that window:
+
+* :class:`Tracer` — nested timed spans against any clock
+  (:class:`~repro.util.timer.WallClock` for real runs,
+  :class:`~repro.simulate.clock.VirtualClock` for deterministic tests),
+  exported as Chrome-trace-compatible ``trace_event`` JSON lines;
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms (chunk sizes, lookup latencies, retry sleeps, queue
+  depths), rendered through :class:`repro.metrics.Table`;
+* :mod:`repro.obs.profile` — per-stage / per-application breakdowns of
+  a span set, surfaced by ``repro trace-profile`` and ``backup
+  --profile``.
+
+Instrumentation is **zero-cost when disabled**: every instrumented
+component defaults to the module-level :data:`NOOP_TRACER`, whose
+``enabled`` flag lets hot loops skip span construction entirely, so
+paper figures and Tier-1 timings are untouched unless a profiling run
+opts in.
+"""
+
+from repro.obs.metrics import (
+    CHUNK_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import StageRow, render_profile, stage_breakdown
+from repro.obs.tracer import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    load_spans,
+)
+
+__all__ = [
+    "CHUNK_SIZE_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "StageRow",
+    "Tracer",
+    "load_spans",
+    "render_profile",
+    "stage_breakdown",
+]

@@ -1,0 +1,211 @@
+"""Per-stage and per-application profiles from a span set.
+
+A raw trace answers "what happened when"; the profile answers the
+question that motivates a performance PR: *which stage dominates this
+workload*.  Aggregation is by **self time** — each span's duration minus
+the durations of its direct children — so nested instrumentation never
+double-counts: a ``file`` span's self time is only the engine glue not
+attributed to its ``chunk``/``hash``/``index.lookup`` children, and the
+self times of every span in a single-threaded session sum exactly to the
+session window.
+
+Stage names are grouped into the canonical pipeline stages of the paper
+(chunk / hash / index / transfer) for the per-application table; the
+full stage table keeps every distinct span name.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.metrics.report import Table
+from repro.obs.tracer import Span
+
+__all__ = ["StageRow", "stage_breakdown", "render_profile",
+           "stage_group"]
+
+#: Span names that define the profiling window when present.
+_ROOT_NAMES = ("session", "restore")
+
+#: Ordered (prefix -> canonical stage) mapping for per-app aggregation.
+_STAGE_GROUPS = (
+    ("chunk", "chunk"),
+    ("hash", "hash"),
+    ("index", "index"),
+    ("upload", "transfer"),
+    ("cloud.", "transfer"),
+    ("retry", "transfer"),
+    ("container", "container"),
+)
+
+
+def stage_group(name: str) -> str:
+    """Canonical pipeline stage for a span name (``"other"`` fallback)."""
+    for prefix, group in _STAGE_GROUPS:
+        if name.startswith(prefix):
+            return group
+    return "other"
+
+
+@dataclass
+class StageRow:
+    """Aggregate for one span name."""
+
+    stage: str
+    calls: int = 0
+    total_seconds: float = 0.0
+    self_seconds: float = 0.0
+    bytes: int = 0
+
+
+@dataclass
+class Profile:
+    """Everything ``repro trace-profile`` renders."""
+
+    window_seconds: float
+    stages: Dict[str, StageRow] = field(default_factory=dict)
+    #: app label -> canonical stage -> self seconds.
+    apps: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Self time of spans inside a root span (sums to the window on a
+    #: single thread) vs. spans outside any root (client construction,
+    #: close-time flushes — real work, but not part of a backup window).
+    accounted_seconds: float = 0.0
+    outside_seconds: float = 0.0
+
+
+def _self_times(spans: Sequence[Span]) -> Dict[int, float]:
+    """Self time per span id (duration minus direct children)."""
+    child_time: Dict[int, float] = defaultdict(float)
+    for span in spans:
+        if span.parent_id is not None:
+            child_time[span.parent_id] += span.duration
+    return {span.span_id: span.duration - child_time[span.span_id]
+            for span in spans}
+
+
+def stage_breakdown(spans: Sequence[Span]) -> Profile:
+    """Aggregate a span set into a :class:`Profile`.
+
+    The window is the total duration of ``session``/``restore`` root
+    spans when any exist, else the overall start-to-end extent of the
+    trace.  With concurrent threads (pipelined uploads, parallel
+    workers) stage self times can legitimately sum past the window —
+    that overlap is the parallelism the profile makes visible.
+    """
+    spans = list(spans)
+    roots = [s for s in spans if s.name in _ROOT_NAMES]
+    if roots:
+        window = sum(s.duration for s in roots)
+    elif spans:
+        window = (max(s.end for s in spans)
+                  - min(s.start for s in spans))
+    else:
+        window = 0.0
+
+    # Which spans lie inside a root?  Self time outside (client setup,
+    # close-time flushes) is tracked separately so the in-window total
+    # can be compared against the window itself.
+    if roots:
+        children: Dict[int, List[int]] = defaultdict(list)
+        for span in spans:
+            if span.parent_id is not None:
+                children[span.parent_id].append(span.span_id)
+        in_window = set()
+        stack = [root.span_id for root in roots]
+        while stack:
+            sid = stack.pop()
+            if sid in in_window:
+                continue
+            in_window.add(sid)
+            stack.extend(children[sid])
+    else:
+        in_window = {span.span_id for span in spans}
+
+    selves = _self_times(spans)
+    by_id = {span.span_id: span for span in spans}
+
+    def app_of(span: Span) -> object:
+        # A span belongs to the app of its nearest ancestor that names
+        # one — so a ``cloud.put.attempt`` under an app-labelled
+        # ``upload`` is charged to that application.
+        while span is not None:
+            app = span.attrs.get("app")
+            if app is not None:
+                return app
+            span = by_id.get(span.parent_id)
+        return None
+
+    profile = Profile(window_seconds=window)
+    for span in spans:
+        if span.span_id in in_window:
+            profile.accounted_seconds += selves[span.span_id]
+        else:
+            profile.outside_seconds += selves[span.span_id]
+        row = profile.stages.get(span.name)
+        if row is None:
+            row = profile.stages[span.name] = StageRow(stage=span.name)
+        row.calls += 1
+        row.total_seconds += span.duration
+        row.self_seconds += selves[span.span_id]
+        nbytes = span.attrs.get("bytes")
+        if isinstance(nbytes, (int, float)):
+            row.bytes += int(nbytes)
+
+        app = app_of(span)
+        if isinstance(app, str) and span.name not in _ROOT_NAMES:
+            per_app = profile.apps.setdefault(app, defaultdict(float))
+            per_app[stage_group(span.name)] += selves[span.span_id]
+    return profile
+
+
+_APP_COLUMNS = ("chunk", "hash", "index", "container", "transfer",
+                "other")
+
+
+def render_profile(spans: Sequence[Span]) -> str:
+    """Render the stage and per-application tables as aligned text."""
+    profile = stage_breakdown(spans)
+    if not profile.stages:
+        return "trace contains no spans"
+    window = profile.window_seconds
+
+    def share(seconds: float) -> str:
+        if window <= 0:
+            return "-"
+        return f"{100.0 * seconds / window:.1f}%"
+
+    title = (f"Stage breakdown (window {window:.6f} s, "
+             f"accounted {profile.accounted_seconds:.6f} s")
+    if profile.outside_seconds > 0:
+        title += f", outside window {profile.outside_seconds:.6f} s"
+    stage_table = Table(
+        ["stage", "calls", "total s", "self s", "share", "bytes"],
+        title=title + ")")
+    ordered = sorted(profile.stages.values(),
+                     key=lambda row: (-row.self_seconds, row.stage))
+    for row in ordered:
+        stage_table.add_row([
+            row.stage, row.calls, f"{row.total_seconds:.6f}",
+            f"{row.self_seconds:.6f}", share(row.self_seconds),
+            row.bytes or ""])
+    sections = [stage_table.render()]
+
+    if profile.apps:
+        app_table = Table(["app"] + [f"{c} %" for c in _APP_COLUMNS]
+                          + ["total s"],
+                          title="Per-application stage shares "
+                                "(% of the app's own traced time)")
+        for app in sorted(profile.apps):
+            per_stage = profile.apps[app]
+            total = sum(per_stage.values())
+            cells: List[str] = [app]
+            for column in _APP_COLUMNS:
+                seconds = per_stage.get(column, 0.0)
+                cells.append(f"{100.0 * seconds / total:.1f}"
+                             if total > 0 else "-")
+            cells.append(f"{total:.6f}")
+            app_table.add_row(cells)
+        sections.append(app_table.render())
+    return "\n\n".join(sections)

@@ -286,6 +286,36 @@ class TestSimulatedCloudResilience:
         assert cloud.upload_seconds == pytest.approx(1.1 + 2.0)
         assert clock.now() == pytest.approx(1.1 + 2.0)
 
+    @pytest.mark.parametrize("op", ["put", "get", "exists"])
+    def test_latency_spikes_drain_identically_across_ops(self, op):
+        # A chaos latency spike must land on the virtual clock (and the
+        # WAN accounting) the same way no matter which operation
+        # triggered it: the spiked run costs exactly the quiet run plus
+        # the spike, with nothing left pending in the backend.
+        def run(spike_rate):
+            clock = VirtualClock()
+            wan = WANLink(request_latency=0.1, concurrent_requests=1,
+                          up_bandwidth=1000, down_bandwidth=1000)
+            chaos = ChaosBackend(InMemoryBackend(), seed=6,
+                                 latency_spike_rate=spike_rate,
+                                 latency_spike_seconds=2.5)
+            chaos.inner._put("k", bytes(1000))  # seed without traffic
+            cloud = SimulatedCloud(chaos, wan=wan, clock=clock)
+            if op == "put":
+                cloud.put("k", bytes(1000))
+            elif op == "get":
+                assert cloud.get("k") == bytes(1000)
+            else:
+                assert cloud.exists("k")
+            return clock.now(), cloud.transfer_seconds(), chaos
+
+        quiet_clock, quiet_wan, _ = run(0.0)
+        spiked_clock, spiked_wan, chaos = run(1.0)
+        assert chaos.chaos.latency_spikes == 1
+        assert spiked_clock - quiet_clock == pytest.approx(2.5)
+        assert spiked_wan - quiet_wan == pytest.approx(2.5)
+        assert chaos.consume_spike_seconds() == 0.0  # fully drained
+
     def test_exists_charges_amortised_request_latency(self):
         # Regression (HEAD parity): an existence probe pays exactly a
         # zero-byte GET — latency amortised across concurrent request
