@@ -8,6 +8,7 @@
     python -m repro gc      --store /backups/cloud --keep-last 4
     python -m repro scrub   --store /backups/cloud
     python -m repro schemes
+    python -m repro fleet   --clients 8 --sessions 3
     python -m repro backup  ~/Documents --store /backups/cloud \
         --profile --trace-out /tmp/backup.trace.jsonl
     python -m repro trace-profile /tmp/backup.trace.jsonl
@@ -194,6 +195,47 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Simulate a fleet of clients backing up to one shared store."""
+    from repro.fleet import (FleetService, generated_fleet_sources,
+                             synthetic_fleet_sources)
+
+    tracer = None
+    if args.profile:
+        from repro.obs import Tracer
+        tracer = Tracer()
+    if args.bytes_per_client:
+        sources = generated_fleet_sources(
+            args.clients, args.sessions,
+            bytes_per_client=parse_size(args.bytes_per_client),
+            seed=args.seed)
+    else:
+        sources = synthetic_fleet_sources(args.clients, args.sessions,
+                                          seed=args.seed)
+
+    def config(_rank):
+        cfg = _scheme_by_name(args.scheme)
+        if args.container_size:
+            cfg = cfg.with_(container_size=parse_size(args.container_size))
+        return cfg
+
+    service = FleetService(clients=args.clients,
+                           config_factory=config,
+                           shards_per_app=args.shards,
+                           cache_capacity=args.shard_cache,
+                           waves=args.waves,
+                           tracer=tracer)
+    try:
+        report = service.run(sources, max_workers=args.workers)
+    finally:
+        service.close()
+    print(report.render())
+    if tracer is not None:
+        from repro.obs import render_profile
+        print(render_profile(tracer.spans()))
+    return 0
+
+
 def cmd_schemes(_args) -> int:
     """List the available backup schemes."""
     table = Table(["scheme", "granularity", "index", "containers",
@@ -272,6 +314,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("estimate", help=cmd_estimate.__doc__)
     p.add_argument("source", help="directory to analyse")
     p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("fleet", help=cmd_fleet.__doc__)
+    p.add_argument("--clients", type=int, default=8,
+                   help="number of concurrent backup clients")
+    p.add_argument("--sessions", type=int, default=3,
+                   help="backup sessions (rounds) per client")
+    p.add_argument("--workers", type=int, default=4,
+                   help="thread pool size per wave (performance knob "
+                        "only; results are identical for any value)")
+    p.add_argument("--waves", type=int, default=2,
+                   help="staggered backup windows per round")
+    p.add_argument("--shards", type=int, default=4,
+                   help="directory shards per application label")
+    p.add_argument("--shard-cache", type=int, default=0,
+                   help="LRU entries fronting each directory shard")
+    p.add_argument("--scheme", default="AA-Dedupe")
+    p.add_argument("--container-size", default=None,
+                   help="override container size, e.g. 256KiB")
+    p.add_argument("--seed", type=int, default=2011)
+    p.add_argument("--bytes-per-client", default=None,
+                   help="use the paper workload generator at this scale "
+                        "per client (e.g. 64MB); default is a compact "
+                        "synthetic corpus")
+    p.add_argument("--profile", action="store_true",
+                   help="trace the fleet run and print a stage profile")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("schemes", help=cmd_schemes.__doc__)
     p.set_defaults(func=cmd_schemes)

@@ -26,6 +26,7 @@ from repro.cloud.base import CloudBackend, CloudStats
 from repro.cloud.memory import InMemoryBackend
 from repro.cloud.local import LocalDirectoryBackend
 from repro.cloud.faults import ChaosBackend, ChaosStats
+from repro.cloud.namespace import NamespacedBackend
 from repro.cloud.retry import RetryPolicy, RetryStats
 from repro.cloud.wan import WANLink
 from repro.cloud.pricing import PriceBook, S3_APRIL_2011
@@ -38,6 +39,7 @@ __all__ = [
     "LocalDirectoryBackend",
     "ChaosBackend",
     "ChaosStats",
+    "NamespacedBackend",
     "RetryPolicy",
     "RetryStats",
     "WANLink",

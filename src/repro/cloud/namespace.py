@@ -1,0 +1,104 @@
+"""Per-tenant namespaced view of one shared cloud backend.
+
+A fleet of backup clients hitting one storage account needs two things
+from the key space: *isolation* for client-private state (manifests,
+journals, index replicas — a client must never read or clobber another
+client's), and *sharing* for the container pool (cross-client dedup only
+pays off when a chunk one client uploaded is addressable by every
+other).  :class:`NamespacedBackend` provides both: keys under any of
+``shared_prefixes`` pass through verbatim, every other key is
+transparently prefixed with ``clients/<namespace>/``.
+
+The wrapper keeps its own :class:`~repro.cloud.base.CloudStats` (the
+per-tenant request/byte accounting the cost model prices per client)
+while the wrapped backend keeps accumulating fleet-wide totals.  All
+inner-backend access is serialised on ``lock``; one lock instance shared
+by every tenant view makes a plain dict- or directory-backed backend
+safe under concurrent multi-client load.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional, Sequence
+
+from repro.cloud.base import CloudBackend
+from repro.errors import ObjectNotFound
+
+__all__ = ["NamespacedBackend"]
+
+
+class NamespacedBackend(CloudBackend):
+    """A tenant's view of a shared backend (private keys prefixed).
+
+    By default the container and chunk pools are shared (cross-client
+    dedup addresses them fleet-wide); pass ``shared_prefixes=()`` for
+    full isolation.
+    """
+
+    def __init__(self, inner: CloudBackend, namespace: str,
+                 shared_prefixes: Optional[Sequence[str]] = None,
+                 lock: Optional[threading.Lock] = None) -> None:
+        super().__init__()
+        if not namespace or "/" in namespace:
+            raise ValueError(f"bad namespace {namespace!r}")
+        if shared_prefixes is None:
+            # Imported lazily: repro.core pulls in the whole engine, and
+            # a module-level import would cycle through repro.cloud.
+            from repro.core import naming
+            shared_prefixes = (naming.CONTAINER_PREFIX,
+                               naming.CHUNK_PREFIX)
+        self.inner = inner
+        self.namespace = namespace
+        self.prefix = f"clients/{namespace}/"
+        self.shared_prefixes = tuple(shared_prefixes)
+        self.lock = lock if lock is not None else threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _map(self, key: str) -> str:
+        for shared in self.shared_prefixes:
+            if key.startswith(shared):
+                return key
+        return self.prefix + key
+
+    # -- primitive operations (delegate through the inner *public* API
+    # so fleet-wide totals accumulate on the inner backend's stats) ----
+    def _put(self, key: str, data: bytes) -> None:
+        with self.lock:
+            self.inner.put(self._map(key), data)
+
+    def _get(self, key: str) -> Optional[bytes]:
+        with self.lock:
+            try:
+                return self.inner.get(self._map(key))
+            except ObjectNotFound:
+                return None
+
+    def _delete(self, key: str) -> bool:
+        with self.lock:
+            return self.inner.delete(self._map(key))
+
+    def _list(self, prefix: str) -> Iterator[str]:
+        keys = set()
+        with self.lock:
+            # Shared subtrees visible through this namespace.
+            for shared in self.shared_prefixes:
+                if prefix.startswith(shared):
+                    keys.update(self.inner.list(prefix))
+                elif shared.startswith(prefix):
+                    keys.update(self.inner.list(shared))
+            # The tenant's private subtree, unprefixed back.
+            keys.update(key[len(self.prefix):]
+                        for key in self.inner.list(self.prefix + prefix))
+        return iter(keys)
+
+    def stored_bytes(self) -> int:
+        """Bytes visible in this namespace (shared pool + private keys)."""
+        with self.lock:
+            total = 0
+            for shared in self.shared_prefixes:
+                total += sum(len(self.inner._get(key) or b"")
+                             for key in self.inner._list(shared))
+            total += sum(len(self.inner._get(key) or b"")
+                         for key in self.inner._list(self.prefix))
+            return total

@@ -153,6 +153,7 @@ class BackupClient:
                  master_key: bytes | None = None,
                  retry: Optional[RetryPolicy] = None,
                  tracer=None,
+                 first_container_id: Optional[int] = None,
                  ) -> None:
         self.cloud = cloud
         self.config = config or aa_dedupe_config()
@@ -186,11 +187,16 @@ class BackupClient:
         self._app_ctx = threading.local()
         self._journal: Optional[SessionJournal] = None
         self._sync = IndexSynchronizer(cloud, retry=retry)
+        # Multi-client deployments sharing one container pool assign
+        # each client a disjoint id range up front; single clients probe
+        # the cloud so a fresh client never reuses a live id.
         self._containers = ContainerManager(
             upload=self._upload_container,
             container_size=self.config.container_size,
             pad_containers=self.config.pad_containers,
-            first_container_id=self._resume_container_id(),
+            first_container_id=(first_container_id
+                                if first_container_id is not None
+                                else self._resume_container_id()),
             tracer=self.tracer,
         ) if self.config.use_containers else None
 
@@ -295,7 +301,12 @@ class BackupClient:
                        session_id: int) -> SessionStats:
         cfg = self.config
         stats = SessionStats(session_id=session_id, scheme=cfg.name)
-        manifest = Manifest(session_id, cfg.name, created=time.time())
+        # Simulated runs stamp manifests with virtual time so serialized
+        # output (and therefore byte accounting) is fully deterministic;
+        # real deployments keep the wall clock.
+        clock = getattr(self.cloud, "clock", None)
+        created = clock.now() if clock is not None else time.time()
+        manifest = Manifest(session_id, cfg.name, created=created)
         self.index.reset_stats()
         puts_before = self.cloud.stats.put_requests
         up_before = self.cloud.stats.bytes_uploaded

@@ -1,0 +1,123 @@
+"""Client-side fleet index: local subindex plus global-directory probe.
+
+:class:`FleetIndex` is the per-``(client, app)`` subindex a fleet
+client's :class:`~repro.core.backup.BackupClient` routes through its
+application-aware index.  It behaves exactly like the paper's in-RAM
+per-app index for everything the client has seen itself, and falls
+through to the service's :class:`~repro.fleet.directory.GlobalDedupDirectory`
+on a local miss:
+
+* **local hit** — pure memory hit, no directory traffic;
+* **directory hit** — another client already uploaded the chunk into
+  the shared container pool; the entry is *adopted* into the local
+  index (so repeats are local from then on) and the engine skips the
+  upload — that is cross-client deduplication;
+* **directory miss** — memoised for the rest of the directory epoch
+  (the committed snapshot is frozen between commits, so a miss cannot
+  turn into a hit mid-round) — repeated probes for hot new chunks cost
+  one shard batch, not one per occurrence.
+
+New local inserts are published to the directory through a write-behind
+**outbox**, flushed in batches (amortising shard locks and, on a
+disk-backed directory, seeks).  The service flushes outboxes at session
+end so every round's chunks are offered before the epoch commits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.index.base import ChunkIndex, IndexEntry
+
+__all__ = ["FleetIndex"]
+
+
+class FleetIndex(ChunkIndex):
+    """Per-application index with global-directory fallthrough.
+
+    ``rank`` is the owning client's fleet rank — the tiebreaker when two
+    clients publish the same fingerprint in one epoch (lowest wins, so
+    commit results are independent of thread scheduling).
+    """
+
+    def __init__(self, directory, app: str, rank: int,
+                 publish_batch: int = 64) -> None:
+        super().__init__()
+        if publish_batch < 1:
+            raise ValueError("publish_batch must be >= 1")
+        self.directory = directory
+        self.app = app
+        self.rank = rank
+        self._publish_batch = publish_batch
+        self._local: Dict[bytes, IndexEntry] = {}
+        self._outbox: List[IndexEntry] = []
+        self._memo_epoch = directory.epoch
+        self._misses: Set[bytes] = set()
+        #: Fingerprints probed against the directory (local misses).
+        self.remote_probes = 0
+        #: Directory hits — chunks first uploaded by some other client.
+        self.remote_hits = 0
+        #: Bytes saved by adopting remote entries (cross-client dedup,
+        #: counted once at adoption; repeats afterwards are local hits).
+        self.adopted_bytes = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: bytes) -> Optional[IndexEntry]:
+        stats = self.stats
+        stats.lookups += 1
+        entry = self._local.get(fingerprint)
+        if entry is not None:
+            stats.hits += 1
+            stats.memory_hits += 1
+            return entry
+        if self.directory.epoch != self._memo_epoch:
+            self._memo_epoch = self.directory.epoch
+            self._misses.clear()
+        elif fingerprint in self._misses:
+            return None
+        self.remote_probes += 1
+        remote = self.directory.lookup_batch(self.app, (fingerprint,))[0]
+        if remote is None:
+            self._misses.add(fingerprint)
+            return None
+        self.remote_hits += 1
+        self.adopted_bytes += remote.length
+        # Adopt: the chunk lives in the shared container pool, so the
+        # local entry points straight at the publisher's container.
+        self._local[fingerprint] = remote
+        stats.hits += 1
+        return remote
+
+    def insert(self, entry: IndexEntry) -> None:
+        self.stats.inserts += 1
+        self.generation += 1
+        fresh = entry.fingerprint not in self._local
+        self._local[entry.fingerprint] = entry
+        if fresh:
+            # Brand-new chunk this client just stored: offer it to the
+            # fleet.  Refcount re-inserts and adopted entries are local
+            # bookkeeping the directory does not need.
+            self._outbox.append(entry)
+            if len(self._outbox) >= self._publish_batch:
+                self.flush_publishes()
+
+    def flush_publishes(self) -> None:
+        """Push the outbox to the directory's pending buffer."""
+        if self._outbox:
+            self.directory.publish_batch(self.app, self._outbox, self.rank)
+            self._outbox = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._local)
+
+    def entries(self) -> Iterator[IndexEntry]:
+        return iter(list(self._local.values()))
+
+    def flush(self) -> None:
+        self.flush_publishes()
+
+    def close(self) -> None:
+        self.flush_publishes()
+        self._local.clear()
+        self._misses.clear()

@@ -1,0 +1,302 @@
+"""Server-side global deduplication directory for a backup fleet.
+
+One AA-Dedupe client deduplicates against its *own* per-application
+subindices (paper Sec. III-D).  A cloud provider serving a fleet of
+clients can do better: a chunk uploaded by any client is addressable by
+every other, so the service keeps a **global directory** of fingerprints
+on the server side.  To keep any single lookup structure small and the
+load spread, the directory is sharded by ``(app_label,
+fingerprint-prefix)`` — the application label first (preserving the
+paper's observation that cross-application chunk collisions are
+negligible, so shards never need cross-app probes), then a bucket of the
+fingerprint's leading byte.
+
+Each :class:`DirectoryShard` owns an independent
+:class:`~repro.index.base.ChunkIndex` (memory, disk, or an
+:class:`~repro.index.cache.LRUCache` front over disk) and its own lock,
+so probes against different shards never contend.  Probes are **batched**:
+:meth:`GlobalDedupDirectory.lookup_batch` groups fingerprints by shard
+and probes each shard once per batch, which is what lets a disk-backed
+shard amortise seeks (the per-shard ``batches`` counter versus ``probes``
+makes the amortisation visible to the cost model).
+
+Visibility is **epoch-based** so fleet runs are deterministic under any
+thread interleaving: lookups only see entries committed by a previous
+:meth:`~GlobalDedupDirectory.commit_epoch`; publishes land in a pending
+buffer where the lowest client rank wins ties.  The fleet service
+commits at wave barriers (see :mod:`repro.fleet.service`), which models
+the real-world behaviour of a directory service that batches ingest —
+and makes ``max_workers`` a pure performance knob, never a results knob.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.index.base import ChunkIndex, IndexEntry, IndexStats
+from repro.index.cache import LRUCache
+from repro.index.memory import MemoryIndex
+from repro.obs.tracer import NOOP_TRACER
+
+__all__ = ["DirectoryShard", "GlobalDedupDirectory"]
+
+
+class DirectoryShard:
+    """One ``(app, bucket)`` shard: a committed index plus a pending buffer.
+
+    The committed index answers probes; the pending dict holds entries
+    published during the current epoch, invisible until
+    :meth:`commit`.  A ``_known`` fingerprint set shadows the committed
+    index so commits never issue lookups against it — shard probe
+    statistics stay a pure measure of client-driven load.
+    """
+
+    def __init__(self, app: str, bucket: int, index: ChunkIndex) -> None:
+        self.app = app
+        self.bucket = bucket
+        self.index = index
+        self.lock = threading.Lock()
+        self._pending: Dict[bytes, Tuple[int, IndexEntry]] = {}
+        self._known: set = set()
+        #: Batched probe rounds served (each is one potential seek on a
+        #: disk-backed shard; ``probes / batches`` is the amortisation).
+        self.batches = 0
+        #: Fingerprints probed in total.
+        self.probes = 0
+        #: Probes answered from the committed index.
+        self.hits = 0
+        #: Entries offered by publishers (including duplicates).
+        self.publishes = 0
+        #: Entries actually committed (first publisher by rank wins).
+        self.accepted = 0
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.app, self.bucket)
+
+    @property
+    def name(self) -> str:
+        return f"{self.app}/{self.bucket}"
+
+    @property
+    def stats(self) -> IndexStats:
+        """Probe accounting with the memory/disk split for this shard.
+
+        An :class:`~repro.index.cache.LRUCache` front keeps its own
+        counters and only falls through to the backing index on a cache
+        miss, so the disk-side counters live one level down; this merges
+        the chain.  Lookup/hit totals come from the top level (each
+        fall-through would double-count), while memory hits add up
+        across levels — a backing memtable hit served a top-level
+        lookup without disk I/O just as a cache hit did.
+        """
+        top = self.index.stats
+        backing = getattr(self.index, "backing", None)
+        if backing is None:
+            return top
+        deep = backing.stats
+        return IndexStats(
+            lookups=top.lookups, hits=top.hits, inserts=top.inserts,
+            memory_hits=top.memory_hits + deep.memory_hits,
+            disk_probes=deep.disk_probes, disk_bytes=deep.disk_bytes)
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    # ------------------------------------------------------------------
+    def probe(self, fingerprints: Sequence[bytes]
+              ) -> List[Optional[IndexEntry]]:
+        """One batched probe: look up every fingerprint, count one batch."""
+        with self.lock:
+            self.batches += 1
+            self.probes += len(fingerprints)
+            out: List[Optional[IndexEntry]] = []
+            for fp in fingerprints:
+                entry = self.index.lookup(fp)
+                if entry is not None:
+                    self.hits += 1
+                out.append(entry)
+            return out
+
+    def offer(self, entries: Iterable[IndexEntry], rank: int) -> None:
+        """Buffer entries for the next epoch; lowest rank wins ties."""
+        with self.lock:
+            for entry in entries:
+                self.publishes += 1
+                fp = entry.fingerprint
+                if fp in self._known:
+                    continue  # already committed; location is settled
+                current = self._pending.get(fp)
+                if current is None or rank < current[0]:
+                    self._pending[fp] = (rank, entry)
+
+    def commit(self) -> int:
+        """Fold the pending buffer into the committed index.
+
+        Pending fingerprints are committed in sorted order so the
+        backing index's physical layout (memtable spills, run contents)
+        is identical no matter which thread published first.
+        """
+        with self.lock:
+            fresh = 0
+            for fp in sorted(self._pending):
+                if fp in self._known:
+                    continue
+                _rank, entry = self._pending[fp]
+                self.index.insert(entry)
+                self._known.add(fp)
+                fresh += 1
+            self._pending.clear()
+            self.accepted += fresh
+            return fresh
+
+
+class GlobalDedupDirectory:
+    """Fingerprint directory sharded by ``(app, fingerprint-prefix)``.
+
+    ``index_factory(app, bucket)`` builds each shard's backing index
+    (default: :class:`~repro.index.memory.MemoryIndex`).  A positive
+    ``cache_capacity`` fronts every shard with an
+    :class:`~repro.index.cache.LRUCache` of that many entries — the
+    standard deployment for disk-backed shards.  Note that the LRU
+    front's hit *statistics* depend on probe arrival order, so
+    determinism assertions over shard stats should use the default
+    memory backing; committed *content* is order-independent either way.
+    """
+
+    def __init__(self,
+                 shards_per_app: int = 4,
+                 index_factory: Optional[
+                     Callable[[str, int], ChunkIndex]] = None,
+                 cache_capacity: int = 0,
+                 tracer=None) -> None:
+        if shards_per_app < 1:
+            raise ValueError("shards_per_app must be >= 1")
+        self.shards_per_app = shards_per_app
+        self._factory = index_factory or (lambda app, bucket: MemoryIndex())
+        self._cache_capacity = cache_capacity
+        self._shards: Dict[Tuple[str, int], DirectoryShard] = {}
+        self._create_lock = threading.Lock()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        #: Commit epoch counter; bumped by :meth:`commit_epoch`.  Client
+        #: caches key their negative memos on it (a miss stays a miss
+        #: until the next commit).
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    def _bucket(self, fingerprint: bytes) -> int:
+        return fingerprint[0] % self.shards_per_app
+
+    def shard_for(self, app: str, fingerprint: bytes) -> DirectoryShard:
+        return self._shard(app, self._bucket(fingerprint))
+
+    def _shard(self, app: str, bucket: int) -> DirectoryShard:
+        key = (app, bucket)
+        shard = self._shards.get(key)
+        if shard is None:
+            with self._create_lock:
+                shard = self._shards.get(key)
+                if shard is None:
+                    index = self._factory(app, bucket)
+                    if self._cache_capacity > 0:
+                        index = LRUCache(index, self._cache_capacity)
+                    shard = DirectoryShard(app, bucket, index)
+                    self._shards[key] = shard
+        return shard
+
+    def shards(self) -> List[DirectoryShard]:
+        """All shards, ordered by ``(app, bucket)``."""
+        return [self._shards[key] for key in sorted(self._shards)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards.values())
+
+    # ------------------------------------------------------------------
+    def lookup_batch(self, app: str, fingerprints: Sequence[bytes]
+                     ) -> List[Optional[IndexEntry]]:
+        """Probe a batch of fingerprints, grouped by shard.
+
+        Each shard involved is probed exactly once (one ``batches``
+        tick), and results come back aligned with the input order.
+        """
+        if not fingerprints:
+            return []
+        groups: Dict[int, List[int]] = {}
+        for pos, fp in enumerate(fingerprints):
+            groups.setdefault(self._bucket(fp), []).append(pos)
+        out: List[Optional[IndexEntry]] = [None] * len(fingerprints)
+        for bucket in sorted(groups):
+            positions = groups[bucket]
+            shard = self._shard(app, bucket)
+            found = shard.probe([fingerprints[pos] for pos in positions])
+            for pos, entry in zip(positions, found):
+                out[pos] = entry
+        return out
+
+    def lookup(self, app: str, fingerprint: bytes) -> Optional[IndexEntry]:
+        """Single-fingerprint convenience wrapper over the batch path."""
+        return self.lookup_batch(app, (fingerprint,))[0]
+
+    def publish_batch(self, app: str, entries: Sequence[IndexEntry],
+                      rank: int) -> None:
+        """Offer entries for the next epoch, grouped by shard."""
+        if not entries:
+            return
+        groups: Dict[int, List[IndexEntry]] = {}
+        for entry in entries:
+            groups.setdefault(self._bucket(entry.fingerprint),
+                              []).append(entry)
+        for bucket in sorted(groups):
+            self._shard(app, bucket).offer(groups[bucket], rank)
+
+    def commit_epoch(self) -> int:
+        """Make every pending publish visible; returns entries committed."""
+        tracer = self.tracer
+        with tracer.span("fleet.commit_epoch", epoch=self.epoch) as span:
+            committed = 0
+            for shard in self.shards():
+                committed += shard.commit()
+            self.epoch += 1
+            if tracer.enabled:
+                span.set("committed", committed)
+                tracer.metrics.counter(
+                    "fleet_directory_committed_total").inc(committed)
+        return committed
+
+    # ------------------------------------------------------------------
+    def combined_stats(self) -> IndexStats:
+        """Index stats summed over every shard."""
+        total = IndexStats()
+        for shard in self.shards():
+            total.merge(shard.stats)
+        return total
+
+    def stats_rows(self) -> List[dict]:
+        """Per-shard accounting for reports and the server cost model.
+
+        ``batches`` is the seek-relevant count for a disk-backed shard
+        (one batched probe = one index descent); ``disk_probes`` and
+        ``memory_hits`` come from the backing index and split the load
+        between RAM and the server's disks.
+        """
+        rows = []
+        for shard in self.shards():
+            stats = shard.stats
+            rows.append({
+                "shard": shard.name,
+                "entries": len(shard),
+                "batches": shard.batches,
+                "probes": shard.probes,
+                "hits": shard.hits,
+                "publishes": shard.publishes,
+                "accepted": shard.accepted,
+                "memory_hits": stats.memory_hits,
+                "disk_probes": stats.disk_probes,
+            })
+        return rows
+
+    def close(self) -> None:
+        """Close every shard's backing index (noop for memory shards)."""
+        for shard in self.shards():
+            shard.index.close()

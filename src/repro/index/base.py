@@ -68,7 +68,10 @@ class IndexStats:
     lookups: int = 0
     hits: int = 0
     inserts: int = 0
-    #: Lookups served without touching disk (memtable/cache/Bloom-negative).
+    #: *Hits* served without touching disk (memtable/cache).  Invariant:
+    #: ``memory_hits <= hits <= lookups`` — a negative lookup is never a
+    #: hit, memory or otherwise, so the RAM-residency ratio the
+    #: throughput model consumes stays a pure hit-locality measure.
     memory_hits: int = 0
     #: Disk probes issued (each is a potential seek in the disk model).
     disk_probes: int = 0
@@ -91,6 +94,13 @@ class ChunkIndex(abc.ABC):
     def __init__(self) -> None:
         #: Running counters; reset by the caller between sessions.
         self.stats = IndexStats()
+        #: Monotonic mutation counter, bumped by every :meth:`insert`
+        #: (including last-writer-wins refcount re-inserts).  Unlike
+        #: ``stats.inserts`` it is never reset, so replication code can
+        #: use it as a dirty marker: equal generations mean no mutation
+        #: happened in between — a pure entry-count comparison cannot
+        #: see refcount-only updates.
+        self.generation = 0
 
     @abc.abstractmethod
     def lookup(self, fingerprint: bytes) -> Optional[IndexEntry]:

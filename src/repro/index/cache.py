@@ -62,6 +62,7 @@ class LRUCache(ChunkIndex):
     def insert(self, entry: IndexEntry) -> None:
         """Write-through insert (backing index stays authoritative)."""
         self.stats.inserts += 1
+        self.generation += 1
         self.backing.insert(entry)
         self._remember(entry)
 

@@ -47,26 +47,42 @@ class _Run:
         bloom_path = path.with_suffix(".bloom")
         self.bloom = (BloomFilter.from_bytes(bloom_path.read_bytes())
                       if bloom_path.exists() else None)
+        #: Lazily-opened persistent read handle.  Runs are immutable, so
+        #: one handle serves every probe; reopening per lookup costs an
+        #: ``open(2)``/``close(2)`` pair per query, which dominates at
+        #: fleet-scale probe volume.
+        self._fh = None
+
+    def _handle(self):
+        if self._fh is None:
+            self._fh = open(self.path, "rb")
+        return self._fh
+
+    def close(self) -> None:
+        """Close the cached read handle (reopened on next probe)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
 
     def probe(self, fingerprint: bytes, stats) -> Optional[IndexEntry]:
         """Binary-search the run; charges disk reads to ``stats``."""
         key = fingerprint.ljust(20, b"\0")
         lo, hi = 0, self.count - 1
-        with open(self.path, "rb") as fh:
-            while lo <= hi:
-                mid = (lo + hi) // 2
-                fh.seek(mid * _RECORD)
-                rec = fh.read(_RECORD)
-                stats.disk_probes += 1
-                stats.disk_bytes += _RECORD
-                entry = IndexEntry.unpack(rec)
-                mid_key = entry.fingerprint.ljust(20, b"\0")
-                if mid_key == key:
-                    return entry
-                if mid_key < key:
-                    lo = mid + 1
-                else:
-                    hi = mid - 1
+        fh = self._handle()
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            fh.seek(mid * _RECORD)
+            rec = fh.read(_RECORD)
+            stats.disk_probes += 1
+            stats.disk_bytes += _RECORD
+            entry = IndexEntry.unpack(rec)
+            mid_key = entry.fingerprint.ljust(20, b"\0")
+            if mid_key == key:
+                return entry
+            if mid_key < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
         return None
 
     def entries(self) -> Iterator[IndexEntry]:
@@ -126,13 +142,12 @@ class DiskIndex(ChunkIndex):
             if entry is not None:
                 self.stats.hits += 1
                 return entry
-        if not self._runs:
-            self.stats.memory_hits += 1
         return None
 
     def insert(self, entry: IndexEntry) -> None:
         """Insert into the memtable; flush to a new run when full."""
         self.stats.inserts += 1
+        self.generation += 1
         self._memtable[entry.fingerprint] = entry
         if len(self._memtable) >= self.memtable_limit:
             self.flush()
@@ -194,6 +209,7 @@ class DiskIndex(ChunkIndex):
         self._write_run(sorted(
             merged.values(), key=lambda e: e.fingerprint.ljust(20, b"\0")))
         for run in old:
+            run.close()
             try:
                 run.path.unlink()
                 run.path.with_suffix(".bloom").unlink(missing_ok=True)
@@ -203,6 +219,8 @@ class DiskIndex(ChunkIndex):
     def close(self) -> None:
         """Flush and drop references (files remain for reopening)."""
         self.flush()
+        for run in self._runs:
+            run.close()
         self._runs = []
         self._memtable = {}
 

@@ -22,17 +22,18 @@ class MemoryIndex(ChunkIndex):
         self._map: Dict[bytes, IndexEntry] = {}
 
     def lookup(self, fingerprint: bytes) -> Optional[IndexEntry]:
-        """O(1) hash lookup; always a memory hit."""
+        """O(1) hash lookup; every hit is a memory hit."""
         self.stats.lookups += 1
-        self.stats.memory_hits += 1
         entry = self._map.get(fingerprint)
         if entry is not None:
             self.stats.hits += 1
+            self.stats.memory_hits += 1
         return entry
 
     def insert(self, entry: IndexEntry) -> None:
         """O(1) insert/replace."""
         self.stats.inserts += 1
+        self.generation += 1
         self._map[entry.fingerprint] = entry
 
     def __len__(self) -> int:

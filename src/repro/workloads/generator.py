@@ -74,7 +74,8 @@ class WorkloadGenerator:
                  tiny_profile: AppProfile = TINY_PROFILE,
                  tiny_count_ratio: float = 1.56,
                  seed: int = 2011,
-                 max_mean_file_size: int | None = None) -> None:
+                 max_mean_file_size: int | None = None,
+                 block_namespace: int = 0) -> None:
         if total_bytes < 10 * MB:
             raise WorkloadError("total_bytes too small to honour profiles")
         self.total_bytes = total_bytes
@@ -82,7 +83,12 @@ class WorkloadGenerator:
         self.tiny_profile = tiny_profile
         self.tiny_count_ratio = tiny_count_ratio
         self._rng = np.random.default_rng(seed)
-        self._block_counter = 0
+        # Block ids are counter-allocated, so two generators would emit
+        # byte-identical content streams regardless of seed.  A fleet of
+        # clients that must NOT share data starts each generator in a
+        # disjoint block-id namespace; generators meant to model shared
+        # data (same seed, same namespace) stay byte-identical.
+        self._block_counter = block_namespace
         self._mtime = 0
         main_capacity = int(total_bytes * 0.988)  # ~1.2 % left for tiny
         self._apps: Dict[str, _AppState] = {

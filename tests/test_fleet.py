@@ -1,0 +1,324 @@
+"""Fleet subsystem tests: global directory, fleet index, service runs.
+
+The determinism suite is the load-bearing part: a fleet run's results
+(session stats, shard accounting, WAN time, bills) must be identical
+for a fixed seed no matter how many worker threads execute a wave —
+``max_workers`` is a performance knob, never a results knob.
+"""
+
+import hashlib
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.restore import RestoreClient
+from repro.errors import SimulationError, WorkloadError
+from repro.fleet import (
+    FleetIndex,
+    FleetService,
+    GlobalDedupDirectory,
+    generated_fleet_sources,
+    synthetic_fleet_sources,
+)
+from repro.fleet.service import CONTAINER_ID_STRIDE
+from repro.index import IndexEntry
+from repro.index.cache import LRUCache
+
+
+def fp(i: int) -> bytes:
+    return hashlib.sha1(str(i).encode()).digest()
+
+
+def entry(i: int, length: int = 64) -> IndexEntry:
+    return IndexEntry(fingerprint=fp(i), container_id=i, offset=0,
+                      length=length, refcount=1)
+
+
+class TestGlobalDedupDirectory:
+    def test_sharding_by_app_and_prefix(self):
+        d = GlobalDedupDirectory(shards_per_app=4)
+        a = d.shard_for("doc", fp(1))
+        assert a is d.shard_for("doc", fp(1))
+        assert a is not d.shard_for("mp3", fp(1))  # apps never share
+        assert a.bucket == fp(1)[0] % 4
+
+    def test_publish_invisible_until_commit(self):
+        d = GlobalDedupDirectory()
+        d.publish_batch("doc", [entry(1)], rank=0)
+        assert d.lookup("doc", fp(1)) is None
+        assert d.commit_epoch() == 1
+        assert d.lookup("doc", fp(1)) == entry(1)
+        assert d.epoch == 1
+
+    def test_lookup_batch_alignment_and_batching(self):
+        d = GlobalDedupDirectory(shards_per_app=2)
+        d.publish_batch("doc", [entry(i) for i in range(6)], rank=0)
+        d.commit_epoch()
+        fps = [fp(5), fp(999), fp(0), fp(3)]
+        out = d.lookup_batch("doc", fps)
+        assert out == [entry(5), None, entry(0), entry(3)]
+        # The whole batch cost at most one probe round per shard.
+        assert sum(s.batches for s in d.shards()) <= 2
+        assert sum(s.probes for s in d.shards()) == 4
+        assert sum(s.hits for s in d.shards()) == 3
+
+    def test_lowest_rank_wins_conflicts(self):
+        d = GlobalDedupDirectory()
+        late = IndexEntry(fingerprint=fp(1), container_id=777, offset=0,
+                          length=64, refcount=1)
+        d.publish_batch("doc", [late], rank=5)
+        d.publish_batch("doc", [entry(1)], rank=2)  # lower rank, later
+        d.commit_epoch()
+        assert d.lookup("doc", fp(1)).container_id == 1
+
+    def test_committed_fingerprint_not_replaced(self):
+        d = GlobalDedupDirectory()
+        d.publish_batch("doc", [entry(1)], rank=3)
+        assert d.commit_epoch() == 1
+        other = IndexEntry(fingerprint=fp(1), container_id=42, offset=0,
+                           length=64, refcount=1)
+        d.publish_batch("doc", [other], rank=0)
+        assert d.commit_epoch() == 0  # location already settled
+        assert d.lookup("doc", fp(1)).container_id == 1
+
+    def test_commit_does_not_pollute_probe_stats(self):
+        d = GlobalDedupDirectory(shards_per_app=1)
+        d.publish_batch("doc", [entry(i) for i in range(8)], rank=0)
+        d.commit_epoch()
+        shard = d.shards()[0]
+        assert shard.probes == 0 and shard.batches == 0
+        assert shard.stats.lookups == 0  # commit used no index lookups
+        assert len(shard) == 8
+
+    def test_stats_rows_and_len(self):
+        d = GlobalDedupDirectory(shards_per_app=1)
+        d.publish_batch("doc", [entry(1), entry(1)], rank=0)
+        d.commit_epoch()
+        d.lookup("doc", fp(1))
+        d.lookup("doc", fp(2))
+        (row,) = d.stats_rows()
+        assert row["shard"] == "doc/0"
+        assert row["entries"] == 1 and len(d) == 1
+        assert row["publishes"] == 2 and row["accepted"] == 1
+        assert row["probes"] == 2 and row["hits"] == 1
+
+    def test_cache_capacity_fronts_shards_with_lru(self):
+        d = GlobalDedupDirectory(shards_per_app=1, cache_capacity=16)
+        d.publish_batch("doc", [entry(1)], rank=0)
+        d.commit_epoch()
+        assert isinstance(d.shards()[0].index, LRUCache)
+        assert d.lookup("doc", fp(1)) == entry(1)
+
+
+class TestFleetIndex:
+    def test_local_before_remote(self):
+        d = GlobalDedupDirectory()
+        ix = FleetIndex(d, "doc", rank=0)
+        ix.insert(entry(1))
+        assert ix.lookup(fp(1)) == entry(1)
+        assert ix.remote_probes == 0
+        assert ix.stats.memory_hits == 1
+
+    def test_remote_hit_adopts_entry(self):
+        d = GlobalDedupDirectory()
+        d.publish_batch("doc", [entry(7, length=100)], rank=0)
+        d.commit_epoch()
+        ix = FleetIndex(d, "doc", rank=1)
+        assert ix.lookup(fp(7)) == entry(7, length=100)
+        assert ix.remote_probes == 1 and ix.remote_hits == 1
+        assert ix.adopted_bytes == 100
+        # Adopted: the repeat is a pure local memory hit.
+        assert ix.lookup(fp(7)) == entry(7, length=100)
+        assert ix.remote_probes == 1
+        assert ix.stats.memory_hits == 1
+
+    def test_miss_memo_per_epoch(self):
+        d = GlobalDedupDirectory(shards_per_app=1)
+        ix = FleetIndex(d, "doc", rank=1)
+        for _ in range(5):
+            assert ix.lookup(fp(3)) is None
+        assert ix.remote_probes == 1  # memoised within the epoch
+        d.publish_batch("doc", [entry(3)], rank=0)
+        d.commit_epoch()
+        assert ix.lookup(fp(3)) == entry(3)  # memo invalidated by commit
+        assert ix.remote_probes == 2
+
+    def test_outbox_batches_publishes(self):
+        d = GlobalDedupDirectory(shards_per_app=1)
+        ix = FleetIndex(d, "doc", rank=0, publish_batch=4)
+        for i in range(3):
+            ix.insert(entry(i))
+        assert d.shards() == [] or d.shards()[0].publishes == 0
+        ix.insert(entry(3))  # hits the batch threshold
+        assert d.shards()[0].publishes == 4
+        ix.insert(entry(4))
+        ix.flush_publishes()
+        assert d.shards()[0].publishes == 5
+
+    def test_adopted_and_reinserted_entries_not_republished(self):
+        d = GlobalDedupDirectory(shards_per_app=1)
+        d.publish_batch("doc", [entry(1)], rank=0)
+        d.commit_epoch()
+        ix = FleetIndex(d, "doc", rank=1, publish_batch=1)
+        adopted = ix.lookup(fp(1))
+        ix.insert(adopted.bumped())   # refcount bookkeeping
+        ix.insert(adopted.bumped(2))
+        assert d.shards()[0].publishes == 1  # only the original publish
+
+    def test_stat_invariants(self):
+        d = GlobalDedupDirectory()
+        ix = FleetIndex(d, "doc", rank=0)
+        for i in range(5):
+            ix.insert(entry(i))
+        for i in range(10):
+            ix.lookup(fp(i))
+        s = ix.stats
+        assert s.memory_hits <= s.hits <= s.lookups
+        assert (s.lookups, s.hits) == (10, 5)
+
+
+def _session_key(report):
+    """Comparable projection of a fleet run (wall-time fields are host
+    measurements, not simulation outputs, so they are excluded)."""
+    wall = {"dedup_wall_seconds", "upload_wall_seconds"}
+    return [
+        ([{k: v for k, v in asdict(s).items() if k not in wall}
+          for s in c.sessions],
+         c.transfer_seconds, c.bill, c.cross_bytes)
+        for c in report.clients
+    ]
+
+
+def _run_fleet(clients=4, sessions=2, max_workers=4, waves=2, **workload):
+    workload.setdefault("file_kib", 12)
+    sources = synthetic_fleet_sources(clients, sessions, **workload)
+    service = FleetService(clients=clients, waves=waves)
+    try:
+        report = service.run(sources, max_workers=max_workers)
+    finally:
+        service.close()
+    return service, report, sources
+
+
+class TestFleetService:
+    def test_cross_client_dedup_on_shared_corpus(self):
+        _svc, report, _ = _run_fleet()
+        assert report.cross_bytes > 0
+        assert 0 < report.cross_client_fraction < 1
+        # Wave-1 clients deduplicate against wave-0 uploads.
+        assert report.clients[1].cross_bytes > 0
+        assert report.clients[3].cross_bytes > 0
+        # Fleet-wide invariants.
+        assert report.bytes_unique < report.bytes_scanned
+        assert report.dedup_ratio > 1
+        assert report.makespan_seconds > 0
+        assert report.aggregate_goodput > 0
+
+    def test_no_shared_data_no_cross_dedup(self):
+        _svc, report, _ = _run_fleet(clients=3, sessions=1,
+                                     shared_files=0)
+        assert report.cross_bytes == 0
+        assert report.cross_client_fraction == 0.0
+
+    def test_determinism_across_max_workers(self):
+        # ISSUE acceptance: same seeds => identical aggregate session
+        # stats regardless of the thread pool size.
+        keys, shard_rows = [], []
+        for workers in (1, 4, 8):
+            _svc, report, _ = _run_fleet(clients=5, sessions=3,
+                                         max_workers=workers)
+            keys.append(_session_key(report))
+            shard_rows.append(report.shard_rows)
+        assert keys[0] == keys[1] == keys[2]
+        assert shard_rows[0] == shard_rows[1] == shard_rows[2]
+
+    def test_restore_through_adopted_chunks(self):
+        service, report, sources = _run_fleet()
+        rank = 1  # wave-1 client: provably adopted remote chunks
+        assert report.clients[rank].cross_bytes > 0
+        restorer = RestoreClient(service.clients[rank].cloud.backend)
+        for session in range(2):
+            files, _ = restorer.restore_to_memory(session)
+            expected = {sf.path: sf.read()
+                        for sf in sources[rank][session]}
+            assert files == expected
+
+    def test_container_id_ranges_disjoint(self):
+        service, _report, _ = _run_fleet(clients=3)
+        from repro.core import naming
+        ids = [int(key[len(naming.CONTAINER_PREFIX):])
+               for key in service.backend.list(naming.CONTAINER_PREFIX)]
+        assert ids, "fleet stored no containers"
+        owners = {i // CONTAINER_ID_STRIDE for i in ids}
+        assert owners <= {0, 1, 2}
+        assert len(owners) == 3  # every client allocated from its range
+
+    def test_private_state_is_namespaced(self):
+        service, _report, _ = _run_fleet(clients=2, sessions=1)
+        keys = list(service.backend.list(""))
+        manifests = [k for k in keys if "manifests/" in k]
+        assert manifests
+        assert all(k.startswith("clients/") for k in manifests)
+        assert {k.split("/")[1] for k in manifests} == {"c000", "c001"}
+
+    def test_mismatched_sources_rejected(self):
+        service = FleetService(clients=2)
+        with pytest.raises(SimulationError):
+            service.run([[]])  # one client's sources for a two-client fleet
+        with pytest.raises(SimulationError):
+            service.run([[None], [None, None]])  # ragged session counts
+        service.close()
+
+    def test_directory_accounting_in_report(self):
+        _svc, report, _ = _run_fleet()
+        assert report.directory_entries > 0
+        assert report.committed_entries == report.directory_entries
+        assert report.epochs == 2 * 2  # rounds x waves
+        assert sum(r["accepted"] for r in report.shard_rows) == \
+            report.directory_entries
+        assert report.server_seek_seconds() == 0.0  # memory shards
+        rendered = report.render()
+        assert "fleet summary" in rendered and "directory shards" in rendered
+
+
+class TestFleetWorkloads:
+    def test_synthetic_shared_part_identical_across_clients(self):
+        sources = synthetic_fleet_sources(3, 2, file_kib=12)
+        for session in range(2):
+            shared = [
+                {sf.path: sf.read() for sf in sources[rank][session]
+                 if sf.path.startswith("shared/")}
+                for rank in range(3)
+            ]
+            assert shared[0] == shared[1] == shared[2]
+            assert shared[0]  # non-empty
+
+    def test_synthetic_private_parts_differ(self):
+        sources = synthetic_fleet_sources(2, 1, file_kib=12)
+        private = [
+            {sf.path: sf.read() for sf in sources[rank][0]
+             if sf.path.startswith("private/")}
+            for rank in range(2)
+        ]
+        assert set(private[0]) == set(private[1])  # same layout
+        assert private[0] != private[1]            # different bytes
+
+    def test_synthetic_deterministic(self):
+        def digest():
+            sources = synthetic_fleet_sources(2, 2, file_kib=12)
+            h = hashlib.sha1()
+            for per_client in sources:
+                for source in per_client:
+                    for sf in source:
+                        h.update(sf.path.encode())
+                        h.update(sf.read())
+            return h.hexdigest()
+        assert digest() == digest()
+
+    def test_synthetic_files_clear_tiny_threshold(self):
+        sources = synthetic_fleet_sources(1, 1, file_kib=12)
+        assert all(sf.size >= 10 * 1024 for sf in sources[0][0])
+
+    def test_generated_rejects_tiny_scale(self):
+        with pytest.raises(WorkloadError):
+            generated_fleet_sources(2, 2, bytes_per_client=1 << 20)

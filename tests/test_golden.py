@@ -9,7 +9,6 @@ change with::
     PYTHONPATH=src python tests/test_golden.py --regen
 """
 
-import time
 from pathlib import Path
 
 import numpy as np
@@ -29,9 +28,6 @@ TRACE_GOLDEN = GOLDEN_DIR / "session_trace.jsonl"
 PROFILE_GOLDEN = GOLDEN_DIR / "trace_profile.txt"
 TABLE1_GOLDEN = GOLDEN_DIR / "table1_small.txt"
 
-#: Frozen manifest timestamp: the only wall-clock input to a virtual
-#: backup, pinned so the trace regenerates byte-identically.
-FROZEN_TIME = 1_302_000_000.0
 
 
 def _golden_dataset():
@@ -52,22 +48,22 @@ def _golden_dataset():
 
 
 def generate_trace_jsonl() -> str:
-    """One AA-Dedupe session on a virtual clock, traced; returns JSONL."""
-    real_time = time.time
-    time.time = lambda: FROZEN_TIME  # manifest embeds a timestamp
-    try:
-        clock = VirtualClock()
-        tracer = Tracer(clock=clock, metrics=MetricsRegistry())
-        cloud = SimulatedCloud(InMemoryBackend(), clock=clock,
-                               tracer=tracer)
-        client = BackupClient(
-            cloud, aa_dedupe_config(container_size=64 * KIB),
-            tracer=tracer)
-        client.backup(MemorySource(_golden_dataset()))
-        client.close()
-        return tracer.export_jsonl()
-    finally:
-        time.time = real_time
+    """One AA-Dedupe session on a virtual clock, traced; returns JSONL.
+
+    A simulated run has no wall-clock inputs at all (manifests are
+    stamped with virtual time), so the byte-identical comparison doubles
+    as a guard against wall-clock state leaking into simulation output.
+    """
+    clock = VirtualClock()
+    tracer = Tracer(clock=clock, metrics=MetricsRegistry())
+    cloud = SimulatedCloud(InMemoryBackend(), clock=clock,
+                           tracer=tracer)
+    client = BackupClient(
+        cloud, aa_dedupe_config(container_size=64 * KIB),
+        tracer=tracer)
+    client.backup(MemorySource(_golden_dataset()))
+    client.close()
+    return tracer.export_jsonl()
 
 
 def generate_table1_text() -> str:

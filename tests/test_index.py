@@ -87,7 +87,15 @@ class TestMemoryIndex:
         assert idx.stats.lookups == 2
         assert idx.stats.hits == 1
         assert idx.stats.inserts == 1
-        assert idx.stats.memory_hits == 2
+        # The miss is not a memory "hit" — only the served lookup is.
+        assert idx.stats.memory_hits == 1
+
+    def test_generation_bumps_on_every_insert(self):
+        idx = MemoryIndex()
+        assert idx.generation == 0
+        idx.insert(entry(1))
+        idx.insert(entry(1, refcount=5))  # same key: still a mutation
+        assert idx.generation == 2
 
     def test_entries_iteration(self):
         idx = MemoryIndex()
@@ -211,6 +219,71 @@ class TestDiskIndex:
     def test_validation(self, tmp_path):
         with pytest.raises(IndexError_):
             DiskIndex(tmp_path, memtable_limit=0)
+
+    def test_miss_is_not_a_memory_hit(self, tmp_path):
+        # Regression: a negative lookup on a run-less index used to be
+        # counted as a memory hit, inflating the RAM-residency ratio.
+        idx = DiskIndex(tmp_path, memtable_limit=100)
+        assert idx.lookup(fp(1)) is None
+        assert idx.stats.memory_hits == 0
+        assert idx.stats.hits == 0
+        # The same negative lookup against on-disk runs is no hit either.
+        for i in range(20):
+            idx.insert(entry(i))
+        idx.flush()
+        before = idx.stats.memory_hits
+        assert idx.lookup(fp(10_000)) is None
+        assert idx.stats.memory_hits == before
+
+    @pytest.mark.parametrize("memtable_limit", [4, 1000])
+    def test_hit_miss_invariants(self, tmp_path, memtable_limit):
+        # memory_hits <= hits <= lookups must hold through any mix of
+        # memtable hits, run probes, Bloom negatives and plain misses.
+        idx = DiskIndex(tmp_path, memtable_limit=memtable_limit)
+        for i in range(30):
+            idx.insert(entry(i))
+        hits = sum(idx.lookup(fp(i)) is not None for i in range(60))
+        assert hits == 30
+        stats = idx.stats
+        assert stats.memory_hits <= stats.hits <= stats.lookups
+        assert stats.hits == 30
+        assert stats.lookups == 60
+
+    def test_probe_reuses_cached_handle(self, tmp_path, monkeypatch):
+        # Perf regression guard: run probes must not pay an open(2) per
+        # lookup — the handle opens once per run and is reused.
+        idx = DiskIndex(tmp_path, memtable_limit=5, bloom_fp_rate=0.5)
+        for i in range(20):
+            idx.insert(entry(i))
+        idx.flush()
+        import builtins
+        opens = []
+        real_open = builtins.open
+
+        def counting_open(file, *args, **kwargs):
+            opens.append(str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", counting_open)
+        for _ in range(3):
+            for i in range(20):
+                assert idx.lookup(fp(i)) is not None
+        run_opens = [f for f in opens if f.endswith(".idx")]
+        assert len(run_opens) <= len(list(tmp_path.glob("run-*.idx")))
+
+    def test_close_releases_handles_and_reopens(self, tmp_path):
+        idx = DiskIndex(tmp_path, memtable_limit=5)
+        for i in range(12):
+            idx.insert(entry(i))
+        idx.flush()
+        assert idx.lookup(fp(1)) is not None  # handles now open
+        runs = list(idx._runs)
+        assert any(run._fh is not None for run in runs)
+        idx.close()
+        assert all(run._fh is None for run in runs)
+        reopened = DiskIndex(tmp_path)
+        assert reopened.lookup(fp(1)) == entry(1)
+        reopened.close()
 
 
 class TestLRUCache:

@@ -47,7 +47,10 @@ class TestDedupMetrics:
             before, after = after, before
         lhs = bytes_saved_per_second(before, after, seconds)
         rhs = dedup_efficiency(dedup_ratio(before, after), before / seconds)
-        assert lhs == pytest.approx(rhs, rel=1e-9)
+        # The (1 - 1/DR) form cancels catastrophically when after is
+        # within a few ULPs of before at the 1e12 scale, so the two
+        # formulations only agree to ~1e-7 relative there.
+        assert lhs == pytest.approx(rhs, rel=1e-6)
 
     def test_efficiency_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,139 @@
+"""Regression tests for index-replication staleness (ISSUE 3).
+
+Two bugs made cloud index replicas silently stale:
+
+* ``push`` skipped any subindex whose entry *count* matched the last
+  push, so refcount-only updates (last-writer-wins re-inserts) never
+  re-replicated — a recovered index fed GC stale refcounts;
+* ``pull`` recorded the *merged local* size as pushed, so local-only
+  entries that survived a recovery were treated as already replicated
+  and never reached the cloud.
+
+Replication now keys off per-subindex mutation generations plus a
+content digest of what the replica actually holds.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cloud import InMemoryBackend
+from repro.core import naming
+from repro.core.sync import IndexSynchronizer
+from repro.index import AppAwareIndex, IndexEntry
+
+
+def fp(i: int) -> bytes:
+    return hashlib.sha1(str(i).encode()).digest()
+
+
+def entry(i: int, refcount: int = 1) -> IndexEntry:
+    return IndexEntry(fingerprint=fp(i), container_id=i // 8,
+                      offset=i * 64, length=64, refcount=refcount)
+
+
+def replica_refcounts(cloud, app: str) -> dict:
+    blob = cloud.get(naming.index_key(app))
+    record = IndexEntry.RECORD_SIZE
+    entries = [IndexEntry.unpack(blob[pos:pos + record])
+               for pos in range(0, len(blob), record)]
+    return {e.fingerprint: e.refcount for e in entries}
+
+
+@pytest.fixture
+def populated():
+    cloud = InMemoryBackend()
+    index = AppAwareIndex()
+    for i in range(5):
+        index.insert("doc", entry(i))
+    for i in range(10, 13):
+        index.insert("mp3", entry(i))
+    sync = IndexSynchronizer(cloud)
+    assert sync.push(index) == 2
+    return cloud, index, sync
+
+
+class TestRefcountReplication:
+    def test_refcount_bump_triggers_repush(self, populated):
+        # THE regression: same entry count, different refcount — the
+        # old size heuristic skipped this push entirely.
+        cloud, index, sync = populated
+        existing = index.lookup("doc", fp(0))
+        index.insert("doc", existing.bumped(3))
+        assert index.sizes()["doc"] == 5  # count unchanged
+        assert sync.push(index) == 1
+        assert replica_refcounts(cloud, "doc")[fp(0)] == 4
+
+    def test_only_dirty_subindices_reupload(self, populated):
+        # Exactly the mutated subindex replicates; the clean one skips.
+        cloud, index, sync = populated
+        puts_before = cloud.stats.put_requests
+        index.insert("mp3", index.lookup("mp3", fp(11)).bumped())
+        assert sync.push(index) == 1
+        assert cloud.stats.put_requests - puts_before == 1
+        assert replica_refcounts(cloud, "mp3")[fp(11)] == 2
+
+    def test_clean_push_uploads_nothing(self, populated):
+        cloud, _index, sync = populated
+        puts_before = cloud.stats.put_requests
+        assert sync.push(_index) == 0
+        assert cloud.stats.put_requests == puts_before
+
+    def test_identical_reinsert_skips_upload(self, populated):
+        # A mutation that leaves the serialised content byte-identical
+        # (re-insert of the same entry) is detected by the digest and
+        # does not burn an upload.
+        cloud, index, sync = populated
+        index.insert("doc", index.lookup("doc", fp(1)))
+        puts_before = cloud.stats.put_requests
+        assert sync.push(index) == 0
+        assert cloud.stats.put_requests == puts_before
+
+
+class TestPullAccounting:
+    def test_pull_into_empty_is_clean(self, populated):
+        # Recovery into a fresh index: local equals the replica, so the
+        # next push has nothing to do.
+        cloud, index, _sync = populated
+        fresh = AppAwareIndex()
+        resync = IndexSynchronizer(cloud)
+        assert resync.pull(fresh) == len(index)
+        assert resync.push(fresh) == 0
+
+    def test_local_survivors_reach_cloud_after_pull(self, populated):
+        # THE regression: pull into a non-empty subindex used to record
+        # the merged size as pushed, so local-only entries never
+        # replicated on the next push.
+        cloud, _index, _sync = populated
+        survivor = AppAwareIndex()
+        survivor.insert("doc", entry(99))  # local-only, not in replica
+        resync = IndexSynchronizer(cloud)
+        resync.pull(survivor)
+        assert survivor.lookup("doc", fp(99)) is not None
+        assert resync.push(survivor) == 1  # doc re-replicates
+        assert fp(99) in replica_refcounts(cloud, "doc")
+        # Round-trip: a second recovery sees the survivor.
+        rebuilt = AppAwareIndex()
+        IndexSynchronizer(cloud).pull(rebuilt)
+        assert rebuilt.lookup("doc", fp(99)) == entry(99)
+
+    def test_pull_then_refcount_bump_still_repushes(self, populated):
+        cloud, _index, _sync = populated
+        fresh = AppAwareIndex()
+        resync = IndexSynchronizer(cloud)
+        resync.pull(fresh)
+        fresh.insert("mp3", fresh.lookup("mp3", fp(10)).bumped())
+        assert resync.push(fresh) == 1
+        assert replica_refcounts(cloud, "mp3")[fp(10)] == 2
+
+    def test_pull_preserves_newer_local_state(self, populated):
+        # Local entries win over replica entries for the same key, and
+        # the divergence is pushed back out.
+        cloud, _index, _sync = populated
+        local = AppAwareIndex()
+        local.insert("doc", entry(0, refcount=7))
+        resync = IndexSynchronizer(cloud)
+        resync.pull(local)
+        assert local.lookup("doc", fp(0)).refcount == 7
+        assert resync.push(local) == 1
+        assert replica_refcounts(cloud, "doc")[fp(0)] == 7
