@@ -36,6 +36,10 @@ class DedupEstimate:
     tiny_files: int = 0
     bytes_scanned: int = 0
     bytes_unique: int = 0
+    #: Chunks the (optional) delta stage would store as deltas, and the
+    #: upload bytes it would save beyond exact dedup.
+    delta_chunks: int = 0
+    delta_bytes_saved: int = 0
     #: category value -> (scanned, unique) bytes.
     by_category: Dict[str, tuple] = field(default_factory=dict)
 
@@ -62,20 +66,57 @@ class DedupEstimate:
 
 def estimate_directory(root: str | os.PathLike,
                        max_file_bytes: int = 64 * 1024 * 1024,
-                       tiny_threshold: int | None = None) -> DedupEstimate:
+                       tiny_threshold: int | None = None,
+                       delta: bool = False) -> DedupEstimate:
     """Estimate AA-Dedupe's effect on a real directory.
 
     Files larger than ``max_file_bytes`` are truncated for chunking (a
     prefix sample); the estimate extrapolates unique bytes linearly for
     the sampled remainder, which is conservative for media files (no
     sub-file redundancy) and slightly pessimistic for VM images.
+
+    With ``delta=True`` unique CDC/SC chunks additionally pass through
+    the similarity + delta stage (see :mod:`repro.delta`), predicting
+    what ``SchemeConfig(delta_compress=True)`` would save.
     """
-    config = aa_dedupe_config()
+    config = aa_dedupe_config(delta_compress=delta)
     threshold = (config.tiny_file_threshold if tiny_threshold is None
                  else tiny_threshold)
     estimate = DedupEstimate()
     indices: Dict[str, set] = {}
     chunkers: Dict[str, object] = {}
+    sim = bases = None
+    if delta:
+        from collections import OrderedDict
+
+        from repro.delta import (SimilarityIndex, compute_sketch,
+                                 encode_if_worthwhile)
+        sim = SimilarityIndex(capacity=config.delta_sim_capacity)
+        bases: Dict[str, "OrderedDict[bytes, bytes]"] = {}
+
+    def delta_stored_size(app_label: str, chunker_name: str,
+                          fingerprint: bytes, payload: bytes) -> int:
+        """Bytes this unique chunk would occupy with the delta stage."""
+        if (sim is None or chunker_name not in ("cdc", "sc")
+                or len(payload) < config.delta_min_chunk):
+            return len(payload)
+        sketch = compute_sketch(payload)
+        base_fp = sim.probe(app_label, sketch)
+        app_bases = bases.setdefault(app_label, OrderedDict())
+        base = app_bases.get(base_fp) if base_fp is not None else None
+        blob = (encode_if_worthwhile(base, payload,
+                                     cutoff=config.delta_cutoff)
+                if base is not None else None)
+        if blob is not None:
+            estimate.delta_chunks += 1
+            estimate.delta_bytes_saved += len(payload) - len(blob)
+            return len(blob)
+        app_bases[fingerprint] = payload
+        while len(app_bases) > config.delta_base_cache:
+            old_fp, _ = app_bases.popitem(last=False)
+            sim.discard(app_label, old_fp)
+        sim.insert(app_label, sketch, fingerprint)
+        return len(payload)
 
     for stat in walk_files(root):
         estimate.files += 1
@@ -109,7 +150,8 @@ def estimate_directory(root: str | os.PathLike,
             fingerprint = hasher.hash(chunk.data)
             if fingerprint not in index:
                 index.add(fingerprint)
-                unique_sampled += 1 * chunk.length
+                unique_sampled += delta_stored_size(
+                    app.label, policy.chunker, fingerprint, chunk.data)
         # Extrapolate the unsampled tail at the sampled unique density.
         if sampled and stat.size > sampled:
             density = unique_sampled / sampled

@@ -67,6 +67,8 @@ def cmd_backup(args) -> int:
     if args.container_size:
         config = config.with_(container_size=parse_size(
             args.container_size))
+    if args.delta is not None:
+        config = config.with_(delta_compress=args.delta)
     tracer = None
     if args.profile:
         from repro.obs import Tracer
@@ -84,6 +86,11 @@ def cmd_backup(args) -> int:
               f"({stats.files_tiny} tiny files filtered, "
               f"{stats.chunks_unique} new chunks, "
               f"dedup {format_seconds(stats.dedup_wall_seconds)})")
+        if config.delta_compress:
+            print(f"  delta: {stats.chunks_delta} chunks stored as "
+                  f"deltas, {format_bytes(stats.delta_bytes_saved)} "
+                  f"saved beyond exact dedup "
+                  f"({stats.delta_rejected} rejected by cutoff)")
     if tracer is not None:
         from repro.obs import render_profile
 
@@ -150,6 +157,12 @@ def cmd_gc(args) -> int:
         retain = keep_last(ids, args.keep_last)
     report = collect_garbage(cloud, retain)
     print(f"retained sessions: {sorted(retain) or 'none'}")
+    if report.problems:
+        for problem in report.problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        print("nothing deleted: the mark phase was incomplete",
+              file=sys.stderr)
+        return 1
     print(f"deleted {report.deleted_manifests} manifests, "
           f"{report.deleted_containers} containers, "
           f"{report.deleted_objects} objects; "
@@ -178,11 +191,15 @@ def cmd_estimate(args) -> int:
     """Predict dedup ratio / upload time / cost for a directory."""
     from repro.analysis.estimate import estimate_directory
 
-    est = estimate_directory(args.source)
+    est = estimate_directory(args.source, delta=args.delta)
     print(f"{est.files} files, {format_bytes(est.bytes_scanned)} scanned "
           f"({est.tiny_files} tiny)")
     print(f"predicted unique data: {format_bytes(est.bytes_unique)} "
           f"(dedup ratio {est.dedup_ratio:.2f})")
+    if args.delta:
+        print(f"delta stage: {est.delta_chunks} chunks stored as deltas, "
+              f"{format_bytes(est.delta_bytes_saved)} saved beyond "
+              f"exact dedup")
     table = Table(["category", "scanned", "unique", "DR"])
     for category, (scanned, unique) in sorted(est.by_category.items()):
         table.add_row([category, format_bytes(scanned),
@@ -275,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="backup scheme (see `repro schemes`)")
     p.add_argument("--container-size", default=None,
                    help="override container size, e.g. 1MB")
+    p.add_argument("--delta", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="enable/disable similarity + delta compression "
+                        "of unique chunks (default: scheme setting)")
     p.add_argument("--quiet", action="store_true")
     p.add_argument("--profile", action="store_true",
                    help="trace the run; print a stage profile and write "
@@ -313,6 +334,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("estimate", help=cmd_estimate.__doc__)
     p.add_argument("source", help="directory to analyse")
+    p.add_argument("--delta", action="store_true",
+                   help="also model the similarity + delta stage")
     p.set_defaults(func=cmd_estimate)
 
     p = sub.add_parser("fleet", help=cmd_fleet.__doc__)

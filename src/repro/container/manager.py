@@ -16,7 +16,8 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Dict
 
-from repro.container.format import ContainerWriter, FLAG_TINY_FILE
+from repro.container.format import (ContainerWriter, FLAG_DELTA,
+                                    FLAG_TINY_FILE)
 from repro.errors import ContainerError
 from repro.obs.metrics import CHUNK_SIZE_BUCKETS
 from repro.obs.tracer import NOOP_TRACER
@@ -107,22 +108,28 @@ class ContainerManager:
 
     # ------------------------------------------------------------------
     def add(self, fingerprint: bytes, data: bytes,
-            stream: str = "default", *, tiny_file: bool = False
-            ) -> ChunkLocation:
-        """Append a unique chunk/tiny file; returns its final location.
+            stream: str = "default", *, tiny_file: bool = False,
+            delta: bool = False) -> ChunkLocation:
+        """Append a unique chunk/tiny file/delta blob; returns its final
+        location.
 
         The location is known immediately (offsets are fixed at append
         time) even though the container uploads later — this is what lets
         the deduplicator insert the index entry before the seal.
+        ``delta`` marks the extent as a delta blob (scrub then validates
+        its encoding instead of expecting chunk plaintext).
         Thread-safe (parallel per-application workers share the manager).
         """
         with self._lock:
             return self._add_locked(fingerprint, data, stream,
-                                    tiny_file=tiny_file)
+                                    tiny_file=tiny_file, delta=delta)
 
     def _add_locked(self, fingerprint: bytes, data: bytes,
-                    stream: str, *, tiny_file: bool) -> ChunkLocation:
+                    stream: str, *, tiny_file: bool,
+                    delta: bool) -> ChunkLocation:
         flags = FLAG_TINY_FILE if tiny_file else 0
+        if delta:
+            flags |= FLAG_DELTA
         probe = ContainerWriter(0, self.container_size)
         if not probe.fits(len(data)):
             # Oversized: dedicated self-describing container, unpadded.

@@ -24,6 +24,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import OrderedDict
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.chunking.base import Chunker
@@ -39,6 +40,7 @@ from repro.core.recipe import ChunkRef, FileEntry, Manifest
 from repro.core.source import SourceFile
 from repro.core.stats import SessionStats
 from repro.core.sync import IndexSynchronizer
+from repro.delta import SimilarityIndex, compute_sketch, encode_if_worthwhile
 from repro.errors import BackupError, CloudError
 from repro.hashing.base import get_hash
 from repro.index.appaware import AppAwareIndex
@@ -51,6 +53,23 @@ __all__ = ["BackupClient"]
 
 #: File-level tier policy used by ``file_level_first`` schemes (SAM).
 _FILE_TIER_POLICY = DedupPolicy("wfc", "sha1")
+
+#: Chunking methods whose output the delta stage may target.  WFC means
+#: compressed content (application-awareness: re-deltaing compressed
+#: media buys nothing), so only CDC and SC chunks are sketched.
+_DELTA_CHUNKERS = ("cdc", "sc")
+
+
+class _DeltaBase:
+    """A resident delta base: its plaintext, its recipe reference (full
+    or itself a delta) and its delta-chain depth."""
+
+    __slots__ = ("payload", "ref", "depth")
+
+    def __init__(self, payload: bytes, ref: ChunkRef, depth: int) -> None:
+        self.payload = payload
+        self.ref = ref
+        self.depth = depth
 
 
 class _PipelinedUploader:
@@ -187,6 +206,20 @@ class BackupClient:
         self._app_ctx = threading.local()
         self._journal: Optional[SessionJournal] = None
         self._sync = IndexSynchronizer(cloud, retry=retry)
+        # -- delta-compression stage state (see repro.delta) -----------
+        # The similarity index and base cache are *client-local hints*:
+        # losing them costs dedup opportunity, never correctness.  Delta
+        # targets deliberately never enter the exact chunk index — a
+        # synced IndexEntry cannot carry a base chain, so a later exact
+        # hit would emit a plain ref pointing at delta-blob bytes.
+        self._sim: Optional[SimilarityIndex] = (
+            SimilarityIndex(capacity=self.config.delta_sim_capacity)
+            if self.config.delta_compress else None)
+        #: namespace -> OrderedDict[fingerprint -> _DeltaBase] (LRU).
+        self._delta_bases: Dict[str, "OrderedDict[bytes, _DeltaBase]"] = {}
+        #: namespace -> {target fingerprint -> delta ChunkRef}, so a
+        #: repeat of a delta-stored chunk reuses its ref.
+        self._delta_refs: Dict[str, Dict[bytes, ChunkRef]] = {}
         # Multi-client deployments sharing one container pool assign
         # each client a disjoint id range up front; single clients probe
         # the cloud so a fresh client never reuses a live id.
@@ -530,13 +563,9 @@ class BackupClient:
                 self.index.insert(namespace, existing.bumped())
                 ref = self._ref_for(existing)
             else:
-                ref = self._store_unique(fp, payload, stream=namespace)
-                stats.bytes_unique += chunk.length
-                stats.chunks_unique += 1
-                self.index.insert(namespace, IndexEntry(
-                    fingerprint=fp,
-                    container_id=max(ref.container_id, 0),
-                    offset=ref.offset, length=ref.length))
+                ref = self._place_unique(fp, payload, chunk.length,
+                                         namespace, app.label, stats,
+                                         policy)
             entry.refs.append(self._attach_key(ref, key))
         if file_fp is not None:
             self._file_tier[file_fp] = list(entry.refs)
@@ -587,6 +616,130 @@ class BackupClient:
             entry.refs.append(ChunkRef(fingerprint=fp, length=len(data),
                                        object_key=key))
         return entry
+
+    # -- delta-compression stage (post-dedup similarity detection) ------
+    def _place_unique(self, fp: bytes, payload: bytes, length: int,
+                      namespace: str, app_label: str,
+                      stats: SessionStats,
+                      policy: DedupPolicy) -> ChunkRef:
+        """Place a chunk the exact index has never seen.
+
+        With delta compression enabled the chunk first passes through
+        the similarity stage: repeat of a known delta target → reuse its
+        ref; resemblance hit with an affordable delta → store the delta;
+        otherwise fall through to a full store, which also registers the
+        chunk as a future delta base.
+        """
+        cfg = self.config
+        sketch = None
+        if self._sim is not None:
+            prior = self._delta_refs.get(namespace, {}).get(fp)
+            if prior is not None:
+                # Duplicate of a chunk stored as a delta earlier: the
+                # exact index missed by design, but no bytes move.
+                stats.ops.index_hits += 1
+                return prior
+            if (policy.chunker in _DELTA_CHUNKERS
+                    and len(payload) >= cfg.delta_min_chunk):
+                sketch = self._sketch(payload, app_label, stats)
+                ref = self._try_delta(fp, payload, sketch, namespace,
+                                      app_label, stats)
+                if ref is not None:
+                    return ref
+        ref = self._store_unique(fp, payload, stream=namespace)
+        stats.bytes_unique += length
+        stats.chunks_unique += 1
+        self.index.insert(namespace, IndexEntry(
+            fingerprint=fp,
+            container_id=max(ref.container_id, 0),
+            offset=ref.offset, length=ref.length))
+        if sketch is not None:
+            self._register_base(namespace, fp, payload, ref, 0, sketch)
+        return ref
+
+    def _sketch(self, payload: bytes, app_label: str,
+                stats: SessionStats):
+        stats.ops.sketch_bytes += len(payload)
+        tracer = self.tracer
+        if not tracer.enabled:
+            return compute_sketch(payload)
+        with tracer.span("delta.sketch", app=app_label,
+                         bytes=len(payload)):
+            return compute_sketch(payload)
+
+    def _try_delta(self, fp: bytes, payload: bytes, sketch,
+                   namespace: str, app_label: str,
+                   stats: SessionStats) -> Optional[ChunkRef]:
+        """Probe the similarity index and, on a usable hit, store the
+        chunk as a delta.  Returns ``None`` when the chunk must be
+        stored in full (no base, chain too deep, or delta too large)."""
+        cfg = self.config
+        base_fp = self._sim.probe(namespace, sketch)
+        if base_fp is None:
+            return None
+        base = self._delta_bases.get(namespace, {}).get(base_fp)
+        if base is None or base.depth >= cfg.delta_max_chain:
+            return None
+        stats.ops.delta_encode_bytes += len(payload)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("delta.encode", app=app_label,
+                             bytes=len(payload), base_depth=base.depth):
+                blob = encode_if_worthwhile(base.payload, payload,
+                                            cutoff=cfg.delta_cutoff)
+        else:
+            blob = encode_if_worthwhile(base.payload, payload,
+                                        cutoff=cfg.delta_cutoff)
+        if blob is None:
+            stats.delta_rejected += 1
+            return None
+        ref = self._store_delta(fp, blob, len(payload), namespace,
+                                base.ref)
+        stats.bytes_unique += len(blob)
+        stats.chunks_delta += 1
+        stats.delta_bytes_stored += len(blob)
+        stats.delta_bytes_saved += len(payload) - len(blob)
+        if tracer.enabled:
+            tracer.metrics.counter("delta_chunks_total").inc()
+            tracer.metrics.counter("delta_bytes_saved_total").inc(
+                len(payload) - len(blob))
+        self._delta_refs.setdefault(namespace, {})[fp] = ref
+        depth = base.depth + 1
+        if depth < cfg.delta_max_chain:
+            self._register_base(namespace, fp, payload, ref, depth,
+                                sketch)
+        return ref
+
+    def _store_delta(self, fp: bytes, blob: bytes, target_len: int,
+                     namespace: str, base_ref: ChunkRef) -> ChunkRef:
+        """Place a delta blob; its extent identity is the digest of the
+        blob itself so scrub can verify it without resolving bases."""
+        blob_digest = get_hash("sha1").hash(blob)
+        if self._containers is not None:
+            loc = self._containers.add(blob_digest, blob,
+                                       stream=namespace, delta=True)
+            return ChunkRef(fingerprint=fp, length=target_len,
+                            container_id=loc.container_id,
+                            offset=loc.offset, stored_length=len(blob),
+                            delta_base=base_ref)
+        key = naming.delta_key(blob_digest)
+        self._put(key, blob)
+        return ChunkRef(fingerprint=fp, length=target_len,
+                        object_key=key, stored_length=len(blob),
+                        delta_base=base_ref)
+
+    def _register_base(self, namespace: str, fp: bytes, payload: bytes,
+                       ref: ChunkRef, depth: int, sketch) -> None:
+        """Admit a stored chunk as a candidate base for future deltas
+        (LRU-bounded; evicted bases leave the similarity index too)."""
+        bases = self._delta_bases.setdefault(namespace, OrderedDict())
+        if fp in bases:
+            bases.move_to_end(fp)
+        bases[fp] = _DeltaBase(payload, ref, depth)
+        while len(bases) > self.config.delta_base_cache:
+            old_fp, _ = bases.popitem(last=False)
+            self._sim.discard(namespace, old_fp)
+        self._sim.insert(namespace, sketch, fp)
 
     # ------------------------------------------------------------------
     def _store_unique(self, fp: bytes, data: bytes, stream: str,

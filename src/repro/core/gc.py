@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Set
 
 from repro.core import naming
 from repro.core.recipe import Manifest
+from repro.errors import ReproError
 
 __all__ = ["GCReport", "collect_garbage"]
 
@@ -36,8 +37,15 @@ class GCReport:
     deleted_objects: int = 0
     live_containers: int = 0
     #: container_id -> live bytes referenced by retained manifests
-    #: (fragmentation visibility; padding/framing excluded).
+    #: (fragmentation visibility; padding/framing excluded).  Delta
+    #: extents count their *stored* (delta blob) bytes, and base extents
+    #: reached only through delta chains count too — a delta base is
+    #: live as long as any retained delta references it.
     container_live_bytes: Dict[int, int] = field(default_factory=dict)
+    #: Conditions that made the collector refuse to sweep (e.g. a
+    #: retained manifest that failed to parse).  Non-empty problems mean
+    #: nothing was deleted and the CLI exits non-zero.
+    problems: List[str] = field(default_factory=list)
 
 
 def _session_id_of(manifest_key: str) -> int:
@@ -55,21 +63,39 @@ def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
     report = GCReport(retained_sessions=sorted(retain))
 
     # --- mark: liveness roots from retained manifests -----------------
+    # iter_refs walks every ref *including nested delta bases*, so a
+    # base extent stays live while any retained delta references it,
+    # even when no retained manifest references the base directly.
     live_containers: Set[int] = set()
     live_objects: Set[str] = set()
+    seen_retained: Set[int] = set()
     for key in cloud.list(naming.MANIFEST_PREFIX):
         session_id = _session_id_of(key)
         if session_id not in retain:
             continue
-        manifest = Manifest.from_json(cloud.get(key))
+        seen_retained.add(session_id)
+        try:
+            manifest = Manifest.from_json(cloud.get(key))
+        except (ReproError, ValueError, KeyError) as exc:
+            report.problems.append(
+                f"retained manifest {key} unreadable: {exc}")
+            continue
         live_containers |= manifest.referenced_containers()
         live_objects |= manifest.referenced_objects()
-        for entry in manifest:
-            for ref in entry.refs:
-                if ref.in_container:
-                    report.container_live_bytes[ref.container_id] = (
-                        report.container_live_bytes.get(ref.container_id, 0)
-                        + ref.length)
+        for ref in manifest.iter_refs():
+            if ref.in_container:
+                report.container_live_bytes[ref.container_id] = (
+                    report.container_live_bytes.get(ref.container_id, 0)
+                    + ref.cloud_length)
+    for session_id in sorted(retain - seen_retained):
+        report.problems.append(
+            f"retained session {session_id} has no manifest")
+
+    # An incomplete mark phase means the live sets are untrustworthy;
+    # sweeping on them could delete live data.  Refuse instead.
+    if report.problems:
+        report.live_containers = len(live_containers)
+        return report
 
     # --- sweep: manifests of dropped sessions --------------------------
     for key in cloud.list(naming.MANIFEST_PREFIX):
@@ -85,8 +111,9 @@ def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
             report.deleted_containers += 1
     report.live_containers = len(live_containers)
 
-    # --- sweep: standalone chunk/file objects ---------------------------
-    for prefix in (naming.CHUNK_PREFIX, naming.FILE_PREFIX):
+    # --- sweep: standalone chunk/file/delta objects ---------------------
+    for prefix in (naming.CHUNK_PREFIX, naming.FILE_PREFIX,
+                   naming.DELTA_PREFIX):
         for key in cloud.list(prefix):
             if key not in live_objects:
                 cloud.delete(key)

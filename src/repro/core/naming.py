@@ -5,9 +5,9 @@ from __future__ import annotations
 import hashlib
 
 __all__ = ["container_key", "chunk_key", "file_key", "manifest_key",
-           "index_key", "journal_key", "MANIFEST_PREFIX",
+           "index_key", "journal_key", "delta_key", "MANIFEST_PREFIX",
            "CONTAINER_PREFIX", "CHUNK_PREFIX", "FILE_PREFIX",
-           "INDEX_PREFIX", "JOURNAL_PREFIX"]
+           "INDEX_PREFIX", "JOURNAL_PREFIX", "DELTA_PREFIX"]
 
 CONTAINER_PREFIX = "containers/"
 CHUNK_PREFIX = "chunks/"
@@ -15,6 +15,7 @@ FILE_PREFIX = "files/"
 MANIFEST_PREFIX = "manifests/"
 INDEX_PREFIX = "index/"
 JOURNAL_PREFIX = "journals/"
+DELTA_PREFIX = "deltas/"
 
 
 def container_key(container_id: int) -> str:
@@ -25,6 +26,14 @@ def container_key(container_id: int) -> str:
 def chunk_key(fingerprint: bytes) -> str:
     """Key of a directly-uploaded chunk (schemes without containers)."""
     return f"{CHUNK_PREFIX}{fingerprint.hex()}"
+
+
+def delta_key(blob_digest: bytes) -> str:
+    """Key of a directly-uploaded delta blob, addressed by the digest of
+    the *blob itself* — never by the target chunk's fingerprint, which
+    would alias with ``chunk_key`` and let a later full store of the
+    same chunk clobber a blob that older manifests still reference."""
+    return f"{DELTA_PREFIX}{blob_digest.hex()}"
 
 
 def file_key(session_id: int, path: str) -> str:

@@ -92,6 +92,33 @@ class SchemeConfig:
     #: Flush the session journal to the cloud every N recorded uploads.
     journal_flush_interval: int = 1
 
+    #: Post-dedup similarity detection + delta compression of unique
+    #: CDC/SC chunks (see :mod:`repro.delta` and docs/DELTA.md).
+    #: WFC/compressed categories always bypass the stage.  Off by
+    #: default: the paper's evaluation is exact-only.
+    delta_compress: bool = False
+
+    #: Max acceptable delta/target size ratio; larger deltas are "not
+    #: worth it" and the chunk is stored in full.
+    delta_cutoff: float = 0.5
+
+    #: Max delta hops from any chunk back to a full base extent.  Deeper
+    #: chains save more bytes but cost chained decodes on restore.
+    delta_max_chain: int = 3
+
+    #: Chunks smaller than this skip similarity detection (sketch +
+    #: probe overhead cannot pay off on near-empty chunks).
+    delta_min_chunk: int = 2048
+
+    #: Super-feature slots per application namespace in the similarity
+    #: index (LRU-bounded).
+    delta_sim_capacity: int = 8192
+
+    #: Recent base payloads kept in memory per application namespace —
+    #: delta encoding needs the base bytes, and a source deduplicator
+    #: must never re-download them mid-backup.
+    delta_base_cache: int = 256
+
     #: Where the fingerprint index physically lives — a modelling knob
     #: consumed by the trace engine: ``"ram"`` (hash table with the
     #: residency model) or ``"fs"`` (a filesystem pool à la BackupPC,
@@ -124,6 +151,25 @@ class SchemeConfig:
                     "exactly one of policy_table/fixed_policy required")
         if self.tiny_file_threshold < 0:
             raise ConfigError("tiny_file_threshold must be >= 0")
+        if self.delta_compress:
+            if self.incremental_only:
+                raise ConfigError(
+                    "delta_compress requires a dedup scheme, not "
+                    "incremental")
+            if self.encrypt_chunks:
+                raise ConfigError(
+                    "delta_compress is incompatible with encrypt_chunks "
+                    "(convergent ciphertexts destroy resemblance; see "
+                    "docs/DELTA.md)")
+            if not (0.0 < self.delta_cutoff <= 1.0):
+                raise ConfigError("delta_cutoff must be in (0, 1]")
+            if self.delta_max_chain < 1:
+                raise ConfigError("delta_max_chain must be >= 1")
+            if self.delta_min_chunk < 0:
+                raise ConfigError("delta_min_chunk must be >= 0")
+            if self.delta_sim_capacity < 1 or self.delta_base_cache < 1:
+                raise ConfigError(
+                    "delta_sim_capacity/delta_base_cache must be >= 1")
         if self.journal_flush_interval < 1:
             raise ConfigError("journal_flush_interval must be >= 1")
         if self.use_containers and self.container_size < 4096:

@@ -7,8 +7,11 @@ manager (Sec. III-F) is what makes this effective, and the restore tests
 assert both bit-exactness and the bounded fetch count.
 
 Every extent is verified against its recipe fingerprint: the digest
-length identifies the hash (12 B extended Rabin / 16 B MD5 / 20 B SHA-1),
-so verification needs no side channel.
+length identifies the hash (see
+:func:`repro.hashing.hash_for_digest_len`), so verification needs no
+side channel.  Delta extents (see :mod:`repro.delta`) are decoded by
+recursively materialising their base chain, whose depth is capped by
+``max_delta_depth``.
 """
 
 from __future__ import annotations
@@ -22,13 +25,12 @@ from typing import Dict, Optional
 from repro.container.format import ContainerFormatError, ContainerReader
 from repro.core import naming
 from repro.core.recipe import ChunkRef, Manifest
+from repro.delta import DeltaError, apply_delta
 from repro.errors import IntegrityError, RestoreError
-from repro.hashing.base import get_hash
+from repro.hashing import hash_for_digest_len
 from repro.obs.tracer import NOOP_TRACER
 
 __all__ = ["RestoreClient", "RestoreReport", "restore_session"]
-
-_HASH_BY_DIGEST_LEN = {12: "rabin12", 16: "md5", 20: "sha1"}
 
 
 @dataclass
@@ -41,6 +43,8 @@ class RestoreReport:
     containers_fetched: int = 0
     objects_fetched: int = 0
     chunks_verified: int = 0
+    #: Delta extents decoded against their base chain.
+    deltas_applied: int = 0
     #: paths that failed verification (empty on success).
     corrupt: list = field(default_factory=list)
 
@@ -51,14 +55,23 @@ class RestoreClient:
     def __init__(self, cloud, verify: bool = True,
                  container_cache_size: int = 8,
                  master_key: Optional[bytes] = None,
+                 max_delta_depth: int = 8,
                  tracer=None) -> None:
         self.cloud = cloud
         self.verify = verify
         self.master_key = master_key
+        #: Longest delta chain this client will follow.  A chain deeper
+        #: than the writer could produce (``delta_max_chain``) means a
+        #: corrupt or adversarial manifest, not data — refuse it rather
+        #: than recurse without bound.
+        self.max_delta_depth = max(1, max_delta_depth)
         self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._cache_size = max(1, container_cache_size)
         self._containers: "OrderedDict[int, ContainerReader]" = OrderedDict()
         self._fetched = 0
+        #: Reconstructed delta targets by extent location — duplicate
+        #: refs to a delta chunk decode its chain once, not per file.
+        self._delta_memo: "OrderedDict[tuple, bytes]" = OrderedDict()
 
     # ------------------------------------------------------------------
     def load_manifest(self, session_id: int) -> Manifest:
@@ -86,22 +99,70 @@ class RestoreClient:
             self._containers.popitem(last=False)
         return reader
 
-    def _fetch_ref(self, ref: ChunkRef, report: RestoreReport) -> bytes:
+    def _read_extent(self, ref: ChunkRef, length: int,
+                     report: RestoreReport) -> bytes:
+        """Raw stored bytes of ``ref`` (container slice or object)."""
         if ref.in_container:
             data = self._container(ref.container_id).read_at(ref.offset,
-                                                             ref.length)
+                                                             length)
         else:
             data = self.cloud.get(ref.object_key)
             report.objects_fetched += 1
+        if len(data) != length:
+            raise IntegrityError(
+                f"extent length mismatch ({len(data)} != {length})")
+        return data
+
+    def _verify_payload(self, data: bytes, ref: ChunkRef,
+                        report: RestoreReport) -> None:
+        hasher = hash_for_digest_len(len(ref.fingerprint))
+        if hasher is not None:
+            if hasher.hash(data) != ref.fingerprint:
+                raise IntegrityError("fingerprint mismatch on restore")
+            report.chunks_verified += 1
+
+    def _fetch_delta(self, ref: ChunkRef, report: RestoreReport,
+                     depth: int) -> bytes:
+        """Materialise a delta extent by resolving its base chain."""
+        if depth > self.max_delta_depth:
+            raise RestoreError(
+                f"delta chain deeper than max_delta_depth="
+                f"{self.max_delta_depth}")
+        memo_key = ((ref.container_id, ref.offset) if ref.in_container
+                    else ref.object_key)
+        cached = self._delta_memo.get(memo_key)
+        if cached is not None:
+            self._delta_memo.move_to_end(memo_key)
+            return cached
+        blob = self._read_extent(ref, ref.stored_length, report)
+        base = self._fetch_ref(ref.delta_base, report, depth=depth + 1)
+        try:
+            data = apply_delta(base, blob)
+        except DeltaError as exc:
+            raise IntegrityError(f"delta decode failed: {exc}") from exc
         if len(data) != ref.length:
             raise IntegrityError(
-                f"extent length mismatch ({len(data)} != {ref.length})")
+                f"delta target length mismatch "
+                f"({len(data)} != {ref.length})")
+        report.deltas_applied += 1
+        self._delta_memo[memo_key] = data
+        while len(self._delta_memo) > 128:
+            self._delta_memo.popitem(last=False)
+        return data
+
+    def _fetch_ref(self, ref: ChunkRef, report: RestoreReport,
+                   depth: int = 1) -> bytes:
+        if ref.is_delta:
+            if self.tracer.enabled and depth == 1:
+                with self.tracer.span("restore.delta_chain",
+                                      depth=ref.chain_depth()):
+                    data = self._fetch_delta(ref, report, depth)
+            else:
+                data = self._fetch_delta(ref, report, depth)
+        else:
+            data = self._read_extent(ref, ref.length, report)
         if self.verify:
-            hash_name = _HASH_BY_DIGEST_LEN.get(len(ref.fingerprint))
-            if hash_name is not None:
-                if get_hash(hash_name).hash(data) != ref.fingerprint:
-                    raise IntegrityError("fingerprint mismatch on restore")
-                report.chunks_verified += 1
+            self._verify_payload(data, ref, report)
         if ref.wrapped_key is not None:
             # Convergently encrypted extent: recover and apply its key.
             if self.master_key is None:

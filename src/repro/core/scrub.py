@@ -5,9 +5,15 @@ good?" cheaply.  The scrubber walks the store and validates:
 
 * every **container** parses, passes its CRC, and each described extent
   re-hashes to its descriptor fingerprint (the digest width selects the
-  hash, as on restore);
-* every **manifest** parses and references only extents that exist
-  (container descriptors or standalone objects);
+  hash — :func:`repro.hashing.hash_for_digest_len` — as on restore);
+  extents flagged ``FLAG_DELTA`` must additionally be structurally valid
+  delta blobs;
+* every **manifest** parses, references only extents that exist
+  (container descriptors or standalone objects), keeps its delta chains
+  within depth bounds with no dangling base, and — for standalone
+  objects — the stored bytes re-hash to the recipe fingerprint (delta
+  objects are validated structurally instead: their bytes are a delta
+  blob, not the chunk plaintext);
 * every **index replica** parses into valid entries.
 
 Returns a :class:`ScrubReport`; nothing is modified.
@@ -16,18 +22,17 @@ Returns a :class:`ScrubReport`; nothing is modified.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
-from repro.container.format import ContainerReader
+from repro.container.format import FLAG_DELTA, ContainerReader
 from repro.core import naming
-from repro.core.recipe import Manifest
-from repro.errors import ContainerFormatError, ReproError
-from repro.hashing.base import get_hash
+from repro.core.recipe import ChunkRef, Manifest
+from repro.delta import delta_target_length, validate_delta
+from repro.errors import ContainerFormatError, DeltaError, ReproError
+from repro.hashing import hash_for_digest_len
 from repro.index.base import IndexEntry
 
 __all__ = ["ScrubReport", "scrub_cloud"]
-
-_HASH_BY_LEN = {12: "rabin12", 16: "md5", 20: "sha1"}
 
 
 @dataclass
@@ -38,6 +43,10 @@ class ScrubReport:
     extents_verified: int = 0
     manifests_checked: int = 0
     refs_resolved: int = 0
+    #: Standalone chunk/file objects whose content was re-hashed.
+    objects_verified: int = 0
+    #: Delta blobs (container extents or objects) structurally validated.
+    deltas_validated: int = 0
     index_replicas_checked: int = 0
     #: Human-readable problem descriptions; empty means a clean store.
     problems: List[str] = field(default_factory=list)
@@ -48,12 +57,17 @@ class ScrubReport:
         return not self.problems
 
 
-def scrub_cloud(cloud, verify_extents: bool = True) -> ScrubReport:
+def scrub_cloud(cloud, verify_extents: bool = True,
+                max_delta_depth: int = 8) -> ScrubReport:
     """Validate all containers, manifests and index replicas in ``cloud``."""
     report = ScrubReport()
 
     # --- containers ------------------------------------------------------
-    known_fingerprints = set()
+    # Besides per-extent verification, record every extent's location,
+    # length and flags so the manifest pass can resolve refs to actual
+    # extents (not just to an existing container blob).
+    extent_map: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    containers_present = set()
     for key in cloud.list(naming.CONTAINER_PREFIX):
         try:
             reader = ContainerReader(cloud.get(key))
@@ -61,28 +75,118 @@ def scrub_cloud(cloud, verify_extents: bool = True) -> ScrubReport:
             report.problems.append(f"{key}: {exc}")
             continue
         report.containers_checked += 1
+        containers_present.add(reader.container_id)
         for desc in reader.descriptors:
-            known_fingerprints.add(desc.fingerprint)
+            extent_map[(reader.container_id, desc.offset)] = (
+                desc.length, desc.flags)
             if not verify_extents:
                 continue
-            hash_name = _HASH_BY_LEN.get(len(desc.fingerprint))
-            if hash_name is None:
-                continue
             data = reader.extent(desc)
-            if get_hash(hash_name).hash(data) != desc.fingerprint:
-                report.problems.append(
-                    f"{key}: extent fingerprint mismatch at "
-                    f"offset {desc.offset}")
-            else:
+            hasher = hash_for_digest_len(len(desc.fingerprint))
+            if hasher is not None:
+                if hasher.hash(data) != desc.fingerprint:
+                    report.problems.append(
+                        f"{key}: extent fingerprint mismatch at "
+                        f"offset {desc.offset}")
+                    continue
                 report.extents_verified += 1
+            if desc.flags & FLAG_DELTA:
+                try:
+                    validate_delta(data)
+                except DeltaError as exc:
+                    report.problems.append(
+                        f"{key}: invalid delta blob at offset "
+                        f"{desc.offset}: {exc}")
+                    continue
+                report.deltas_validated += 1
 
     object_keys = set(cloud.list(naming.CHUNK_PREFIX)) \
-        | set(cloud.list(naming.FILE_PREFIX))
+        | set(cloud.list(naming.FILE_PREFIX)) \
+        | set(cloud.list(naming.DELTA_PREFIX))
 
     # --- manifests ---------------------------------------------------------
-    containers_present = {
-        int(k[len(naming.CONTAINER_PREFIX):])
-        for k in cloud.list(naming.CONTAINER_PREFIX)}
+    verified_objects: Dict[str, bool] = {}
+
+    def check_object(ref: ChunkRef, where: str) -> None:
+        """Verify a standalone object's *content*, once per key.
+
+        Existence alone is not integrity: a truncated or corrupted
+        object still "exists".  Non-delta objects must re-hash to the
+        recipe fingerprint; delta objects must be structurally valid
+        blobs whose declared target length matches the recipe.
+        """
+        if not verify_extents:
+            return
+        cached = verified_objects.get(ref.object_key)
+        if cached is not None:
+            if not cached:
+                report.problems.append(
+                    f"{where} references corrupt object {ref.object_key}")
+            return
+        data = cloud.get(ref.object_key)
+        ok = True
+        if ref.is_delta:
+            try:
+                if len(data) != ref.stored_length:
+                    raise DeltaError(
+                        f"stored {len(data)}B != recorded "
+                        f"{ref.stored_length}B")
+                if delta_target_length(data) != ref.length:
+                    raise DeltaError("declared target length mismatch")
+                validate_delta(data)
+            except DeltaError as exc:
+                ok = False
+                report.problems.append(
+                    f"{where}: delta object {ref.object_key}: {exc}")
+            else:
+                report.deltas_validated += 1
+        else:
+            hasher = hash_for_digest_len(len(ref.fingerprint))
+            if hasher is not None and hasher.hash(data) != ref.fingerprint:
+                ok = False
+                report.problems.append(
+                    f"{where}: object {ref.object_key} content does not "
+                    f"match its fingerprint")
+            else:
+                report.objects_verified += 1
+        verified_objects[ref.object_key] = ok
+
+    def check_ref(ref: ChunkRef, where: str,
+                  role: str = "extent") -> None:
+        if ref.in_container:
+            if ref.container_id not in containers_present:
+                report.problems.append(
+                    f"{where} references missing container "
+                    f"{ref.container_id} ({role})")
+                return
+            found = extent_map.get((ref.container_id, ref.offset))
+            if found is None:
+                report.problems.append(
+                    f"{where}: no extent at container "
+                    f"{ref.container_id} offset {ref.offset} ({role})")
+                return
+            length, flags = found
+            if length != ref.cloud_length:
+                report.problems.append(
+                    f"{where}: extent length mismatch at container "
+                    f"{ref.container_id} offset {ref.offset} "
+                    f"({length} != {ref.cloud_length}, {role})")
+                return
+            if ref.is_delta and not flags & FLAG_DELTA:
+                report.problems.append(
+                    f"{where}: delta ref resolves to a non-delta extent "
+                    f"at container {ref.container_id} offset "
+                    f"{ref.offset}")
+                return
+        else:
+            if ref.object_key not in object_keys:
+                report.problems.append(
+                    f"{where} references missing object "
+                    f"{ref.object_key} ({role})")
+                return
+            check_object(ref, where)
+        report.refs_resolved += 1
+
     for key in cloud.list(naming.MANIFEST_PREFIX):
         try:
             manifest = Manifest.from_json(cloud.get(key))
@@ -92,18 +196,17 @@ def scrub_cloud(cloud, verify_extents: bool = True) -> ScrubReport:
         report.manifests_checked += 1
         for entry in manifest:
             for ref in entry.refs:
-                if ref.in_container:
-                    if ref.container_id not in containers_present:
-                        report.problems.append(
-                            f"{key}: {entry.path} references missing "
-                            f"container {ref.container_id}")
-                        continue
-                elif ref.object_key not in object_keys:
+                if ref.chain_depth() > max_delta_depth:
                     report.problems.append(
-                        f"{key}: {entry.path} references missing object "
-                        f"{ref.object_key}")
+                        f"{key}: {entry.path} delta chain deeper than "
+                        f"{max_delta_depth}")
                     continue
-                report.refs_resolved += 1
+                check_ref(ref, f"{key}: {entry.path}")
+                base: Optional[ChunkRef] = ref.delta_base
+                while base is not None:
+                    check_ref(base, f"{key}: {entry.path}",
+                              role="delta base")
+                    base = base.delta_base
 
     # --- index replicas ---------------------------------------------------
     record = IndexEntry.RECORD_SIZE

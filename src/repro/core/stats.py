@@ -34,6 +34,10 @@ class OpCounters:
     index_lookups: int = 0
     index_hits: int = 0
     index_disk_probes: int = 0
+    #: Bytes pushed through the resemblance sketcher (delta stage).
+    sketch_bytes: int = 0
+    #: Bytes delta-encoded (target side) by the delta codec.
+    delta_encode_bytes: int = 0
 
     def add_hashed(self, hash_name: str, nbytes: int) -> None:
         """Charge ``nbytes`` of fingerprinting under ``hash_name``."""
@@ -50,6 +54,8 @@ class OpCounters:
         self.index_lookups += other.index_lookups
         self.index_hits += other.index_hits
         self.index_disk_probes += other.index_disk_probes
+        self.sketch_bytes += other.sketch_bytes
+        self.delta_encode_bytes += other.delta_encode_bytes
 
 
 @dataclass
@@ -73,6 +79,18 @@ class SessionStats:
     files_tiny: int = 0
     files_unchanged: int = 0
     chunks_unique: int = 0
+
+    # -- delta compression (similarity stage, see repro.delta) ----------
+    #: Unique chunks stored as a delta against a resembling base.
+    chunks_delta: int = 0
+    #: Cloud bytes actually occupied by delta blobs.
+    delta_bytes_stored: int = 0
+    #: Bytes the delta stage avoided uploading (target minus delta size,
+    #: summed) — savings *beyond* what exact dedup could reach.
+    delta_bytes_saved: int = 0
+    #: Similarity probes that found a candidate but whose delta missed
+    #: the cutoff (stored in full anyway).
+    delta_rejected: int = 0
 
     # -- cloud requests ---------------------------------------------------
     put_requests: int = 0
@@ -133,6 +151,10 @@ class SessionStats:
         self.files_tiny += other.files_tiny
         self.files_unchanged += other.files_unchanged
         self.chunks_unique += other.chunks_unique
+        self.chunks_delta += other.chunks_delta
+        self.delta_bytes_stored += other.delta_bytes_stored
+        self.delta_bytes_saved += other.delta_bytes_saved
+        self.delta_rejected += other.delta_rejected
         self.put_requests += other.put_requests
         self.resume_skipped_objects += other.resume_skipped_objects
         self.resume_skipped_bytes += other.resume_skipped_bytes

@@ -1,0 +1,195 @@
+"""Greedy copy/insert byte-level delta codec (xdelta-style).
+
+A delta is a compact program that rebuilds ``target`` from ``base``::
+
+    +------------------------------------------------+
+    | header: magic "AAD1"(4)  target_len(u32)       |
+    | ops:    'C' offset(u32) length(u32)   — copy   |
+    |         'I' length(u32) raw bytes     — insert |
+    +------------------------------------------------+
+
+Encoding is single-pass greedy: the base is indexed by every
+``block_size``-byte gram (first occurrence wins); the target is scanned
+left to right, extending each gram hit forward as far as the bytes
+agree and emitting literal inserts between matches.  This is the
+classic REBL/DERD-style codec — not optimal like a suffix-automaton
+matcher, but linear, allocation-light, and more than enough to collapse
+an edited document version to its few changed bytes.
+
+``encode_if_worthwhile`` applies the "delta not worth it" cutoff: when
+a delta is not materially smaller than the target (ratio above
+``DEFAULT_CUTOFF``), storing the full chunk is better — the chain-depth
+and decode costs of a barely-smaller delta buy nothing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.errors import DeltaError
+
+__all__ = ["DELTA_MAGIC", "DEFAULT_CUTOFF", "DEFAULT_BLOCK_SIZE",
+           "encode_delta", "apply_delta", "encode_if_worthwhile",
+           "validate_delta", "delta_target_length"]
+
+DELTA_MAGIC = b"AAD1"
+_HEADER = struct.Struct(">4sI")       # magic, target_len
+_COPY = struct.Struct(">BII")         # 'C', offset, length
+_INSERT_HDR = struct.Struct(">BI")    # 'I', length
+
+_OP_COPY = 0x43   # 'C'
+_OP_INSERT = 0x49  # 'I'
+
+#: A delta bigger than this fraction of its target is "not worth it".
+DEFAULT_CUTOFF = 0.5
+
+#: Gram width used to seed matches in the base.
+DEFAULT_BLOCK_SIZE = 16
+
+
+def encode_delta(base: bytes, target: bytes,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> bytes:
+    """Encode ``target`` as a delta against ``base``.
+
+    Always succeeds: with nothing to copy the delta degenerates to one
+    big insert (header + 5 bytes of overhead).  Worthwhileness is the
+    caller's decision (see :func:`encode_if_worthwhile`).
+    """
+    if block_size < 4:
+        raise DeltaError("block_size must be >= 4")
+    out: List[bytes] = [_HEADER.pack(DELTA_MAGIC, len(target))]
+
+    grams: dict = {}
+    for i in range(len(base) - block_size + 1):
+        gram = base[i:i + block_size]
+        if gram not in grams:
+            grams[gram] = i
+
+    pending_start = 0  # start of the literal run not yet emitted
+
+    def flush_insert(end: int) -> None:
+        if end > pending_start:
+            run = target[pending_start:end]
+            out.append(_INSERT_HDR.pack(_OP_INSERT, len(run)))
+            out.append(run)
+
+    i = 0
+    n = len(target)
+    while i + block_size <= n:
+        j = grams.get(target[i:i + block_size])
+        if j is None:
+            i += 1
+            continue
+        # Extend the seed match forward as far as the bytes agree.
+        length = block_size
+        while (i + length < n and j + length < len(base)
+               and target[i + length] == base[j + length]):
+            length += 1
+        flush_insert(i)
+        out.append(_COPY.pack(_OP_COPY, j, length))
+        i += length
+        pending_start = i
+    flush_insert(n)
+    return b"".join(out)
+
+
+def apply_delta(base: bytes, delta: bytes) -> bytes:
+    """Rebuild the target from ``base`` and ``delta`` (inverse of
+    :func:`encode_delta`); validates structure and bounds throughout."""
+    target_len, pos = _parse_header(delta)
+    out = bytearray()
+    n = len(delta)
+    while pos < n:
+        op = delta[pos]
+        if op == _OP_COPY:
+            if pos + _COPY.size > n:
+                raise DeltaError("truncated copy op")
+            _, offset, length = _COPY.unpack_from(delta, pos)
+            pos += _COPY.size
+            if offset + length > len(base):
+                raise DeltaError(
+                    f"copy [{offset}, {offset + length}) beyond base "
+                    f"({len(base)} bytes)")
+            out += base[offset:offset + length]
+        elif op == _OP_INSERT:
+            if pos + _INSERT_HDR.size > n:
+                raise DeltaError("truncated insert op")
+            _, length = _INSERT_HDR.unpack_from(delta, pos)
+            pos += _INSERT_HDR.size
+            if pos + length > n:
+                raise DeltaError("insert data beyond delta end")
+            out += delta[pos:pos + length]
+            pos += length
+        else:
+            raise DeltaError(f"unknown delta op 0x{op:02x}")
+    if len(out) != target_len:
+        raise DeltaError(
+            f"delta rebuilt {len(out)} bytes, header declares {target_len}")
+    return bytes(out)
+
+
+def encode_if_worthwhile(base: bytes, target: bytes,
+                         cutoff: float = DEFAULT_CUTOFF,
+                         block_size: int = DEFAULT_BLOCK_SIZE
+                         ) -> Optional[bytes]:
+    """Encode, but return ``None`` when the delta is not worth storing.
+
+    ``cutoff`` is the maximum acceptable ``len(delta) / len(target)``
+    ratio; empty targets are never worth a delta.
+    """
+    if not target:
+        return None
+    delta = encode_delta(base, target, block_size=block_size)
+    if len(delta) > cutoff * len(target):
+        return None
+    return delta
+
+
+def _parse_header(delta: bytes) -> tuple[int, int]:
+    if len(delta) < _HEADER.size:
+        raise DeltaError("delta too small for header")
+    magic, target_len = _HEADER.unpack_from(delta, 0)
+    if magic != DELTA_MAGIC:
+        raise DeltaError("bad delta magic")
+    return target_len, _HEADER.size
+
+
+def delta_target_length(delta: bytes) -> int:
+    """Declared target length of a delta blob (header only)."""
+    return _parse_header(delta)[0]
+
+
+def validate_delta(delta: bytes) -> int:
+    """Structurally validate a delta blob without a base.
+
+    Walks the op stream, checks framing and that the declared target
+    length matches the ops' total output.  Returns the target length;
+    raises :class:`~repro.errors.DeltaError` on any inconsistency.
+    This is the scrub path: a stored delta extent can be vetted in
+    isolation, before its base chain is even resolved.
+    """
+    target_len, pos = _parse_header(delta)
+    produced = 0
+    n = len(delta)
+    while pos < n:
+        op = delta[pos]
+        if op == _OP_COPY:
+            if pos + _COPY.size > n:
+                raise DeltaError("truncated copy op")
+            _, _offset, length = _COPY.unpack_from(delta, pos)
+            pos += _COPY.size
+        elif op == _OP_INSERT:
+            if pos + _INSERT_HDR.size > n:
+                raise DeltaError("truncated insert op")
+            _, length = _INSERT_HDR.unpack_from(delta, pos)
+            pos += _INSERT_HDR.size + length
+            if pos > n:
+                raise DeltaError("insert data beyond delta end")
+        else:
+            raise DeltaError(f"unknown delta op 0x{op:02x}")
+        produced += length
+    if produced != target_len:
+        raise DeltaError(
+            f"ops produce {produced} bytes, header declares {target_len}")
+    return target_len

@@ -1,0 +1,151 @@
+"""Bounded per-application similarity index: super-feature -> base chunk.
+
+The delta stage needs an answer to "have I recently stored a chunk that
+*resembles* this one?".  Mirroring the application-aware exact index
+(:mod:`repro.index.appaware`), resemblance state is partitioned per
+application label — Observation 2 (cross-application duplicate data is
+negligible) applies to near-duplicates just as it does to exact ones, so
+each namespace stays small and the parallel per-app dedup workers touch
+disjoint namespaces without locking.
+
+Each namespace maps super-features to base-chunk fingerprints with LRU
+eviction (a bounded memory footprint is non-negotiable on a PC client;
+stale resemblance only costs a missed delta, never correctness).
+Probes return the candidate base with the most super-feature votes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.delta.sketch import Sketch
+from repro.errors import DeltaError
+
+__all__ = ["SimIndexStats", "SimilarityIndex"]
+
+
+@dataclass
+class SimIndexStats:
+    """Probe/insert accounting, IndexStats-style (see
+    :class:`repro.index.base.IndexStats`)."""
+
+    probes: int = 0
+    #: Probes that returned a candidate base.
+    hits: int = 0
+    inserts: int = 0
+    #: Super-feature slots dropped by the LRU bound.
+    evictions: int = 0
+
+    def merge(self, other: "SimIndexStats") -> None:
+        """Accumulate ``other`` into ``self``."""
+        self.probes += other.probes
+        self.hits += other.hits
+        self.inserts += other.inserts
+        self.evictions += other.evictions
+
+
+class SimilarityIndex:
+    """A family of bounded per-application super-feature maps."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise DeltaError("similarity index capacity must be >= 1")
+        #: Max super-feature slots kept per namespace.
+        self.capacity = capacity
+        self._maps: Dict[str, "OrderedDict[bytes, bytes]"] = {}
+        self._stats: Dict[str, SimIndexStats] = {}
+        self._create_lock = threading.Lock()
+
+    def _namespace(self, namespace: str) -> "OrderedDict[bytes, bytes]":
+        ns = self._maps.get(namespace)
+        if ns is None:
+            with self._create_lock:
+                ns = self._maps.get(namespace)
+                if ns is None:
+                    ns = self._maps[namespace] = OrderedDict()
+                    self._stats[namespace] = SimIndexStats()
+        return ns
+
+    # ------------------------------------------------------------------
+    def probe(self, namespace: str, sketch: Sketch) -> Optional[bytes]:
+        """Most-resembling base fingerprint for ``sketch``, or ``None``.
+
+        Candidates are ranked by super-feature votes; ties break toward
+        the super-feature seen first in the sketch (deterministic).  A
+        hit refreshes the matched slots' LRU position — an actively
+        useful base stays resident.
+        """
+        ns = self._namespace(namespace)
+        stats = self._stats[namespace]
+        stats.probes += 1
+        votes: Dict[bytes, int] = {}
+        for sf in sketch.super_features:
+            fp = ns.get(sf)
+            if fp is not None:
+                votes[fp] = votes.get(fp, 0) + 1
+        if not votes:
+            return None
+        best = max(votes, key=votes.__getitem__)
+        for sf in sketch.super_features:
+            if ns.get(sf) == best:
+                ns.move_to_end(sf)
+        stats.hits += 1
+        return best
+
+    def insert(self, namespace: str, sketch: Sketch,
+               fingerprint: bytes) -> None:
+        """Register ``fingerprint`` as the base behind every
+        super-feature of ``sketch`` (last-writer-wins per slot)."""
+        ns = self._namespace(namespace)
+        stats = self._stats[namespace]
+        stats.inserts += 1
+        for sf in sketch.super_features:
+            if sf in ns:
+                ns.move_to_end(sf)
+            ns[sf] = fingerprint
+        while len(ns) > self.capacity:
+            ns.popitem(last=False)
+            stats.evictions += 1
+
+    def discard(self, namespace: str, fingerprint: bytes) -> int:
+        """Drop every slot pointing at ``fingerprint``; returns count.
+
+        Used when a base leaves the client's payload cache — a probe
+        must never return a base whose bytes are no longer available.
+        """
+        ns = self._maps.get(namespace)
+        if ns is None:
+            return 0
+        dead = [sf for sf, fp in ns.items() if fp == fingerprint]
+        for sf in dead:
+            del ns[sf]
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    @property
+    def namespaces(self) -> list[str]:
+        """Labels of all materialised namespaces (sorted)."""
+        return sorted(self._maps)
+
+    def __len__(self) -> int:
+        """Total super-feature slots across all namespaces."""
+        return sum(len(ns) for ns in self._maps.values())
+
+    def stats_for(self, namespace: str) -> SimIndexStats:
+        """Per-namespace counters (created on first use)."""
+        self._namespace(namespace)
+        return self._stats[namespace]
+
+    def combined_stats(self) -> SimIndexStats:
+        """Merged counters across namespaces."""
+        total = SimIndexStats()
+        for stats in self._stats.values():
+            total.merge(stats)
+        return total
+
+    def approximate_bytes(self) -> int:
+        """Rough footprint: 8 B super-feature + <=20 B fingerprint."""
+        return len(self) * 28

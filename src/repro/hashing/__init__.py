@@ -13,7 +13,13 @@ All fingerprinters implement :class:`repro.hashing.base.Fingerprinter` and
 are discoverable by name through :func:`repro.hashing.base.get_hash`.
 """
 
-from repro.hashing.base import Fingerprinter, get_hash, register_hash, available_hashes
+from repro.hashing.base import (
+    Fingerprinter,
+    get_hash,
+    register_hash,
+    available_hashes,
+    hash_for_digest_len,
+)
 from repro.hashing.rabin import (
     RabinFingerprinter,
     ExtendedRabinFingerprinter,
@@ -34,6 +40,7 @@ __all__ = [
     "get_hash",
     "register_hash",
     "available_hashes",
+    "hash_for_digest_len",
     "RabinFingerprinter",
     "ExtendedRabinFingerprinter",
     "POLY64",

@@ -14,7 +14,8 @@ from typing import Callable, Dict
 
 from repro.errors import HashError
 
-__all__ = ["Fingerprinter", "register_hash", "get_hash", "available_hashes"]
+__all__ = ["Fingerprinter", "register_hash", "get_hash",
+           "available_hashes", "hash_for_digest_len"]
 
 
 class Fingerprinter(abc.ABC):
@@ -74,3 +75,22 @@ def get_hash(name: str) -> Fingerprinter:
 def available_hashes() -> list[str]:
     """Names of all registered fingerprinters, sorted."""
     return sorted(_REGISTRY)
+
+
+def hash_for_digest_len(digest_len: int):
+    """Fingerprinter whose digest is ``digest_len`` bytes, or ``None``.
+
+    Stored fingerprints are self-describing by width (12 B extended
+    Rabin / 16 B MD5 / 20 B SHA-1), which is how restore and scrub pick
+    the verification hash with no side channel.  Resolution is driven
+    by the registry itself — a downstream-registered hash with a new
+    digest width is picked up automatically — instead of per-caller
+    literal tables that drift apart.  Ambiguity (two registered hashes
+    of equal width) resolves to the alphabetically first name, keeping
+    the answer deterministic.
+    """
+    for name in available_hashes():
+        fingerprinter = get_hash(name)
+        if fingerprinter.digest_size == digest_len:
+            return fingerprinter
+    return None

@@ -34,6 +34,7 @@ _STAGE_GROUPS = (
     ("chunk", "chunk"),
     ("hash", "hash"),
     ("index", "index"),
+    ("delta", "delta"),
     ("upload", "transfer"),
     ("cloud.", "transfer"),
     ("retry", "transfer"),

@@ -113,11 +113,30 @@ class TestMaintenanceCommands:
         assert run("gc", "--store", store, "--retain", "0") == 0
         assert "retained sessions: [0]" in capsys.readouterr().out
 
+    def test_gc_exits_nonzero_on_unreadable_retained_manifest(
+            self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        run("backup", source_tree, "--store", store)
+        run("backup", source_tree, "--store", store)
+        manifests = sorted((store / "manifests").iterdir())
+        containers = len(list((store / "containers").iterdir()))
+        manifests[-1].write_bytes(b"{corrupt json")
+        capsys.readouterr()
+        assert run("gc", "--store", store, "--keep-last", "2") == 1
+        err = capsys.readouterr().err
+        assert "PROBLEM" in err and "nothing deleted" in err
+        # Refusing to sweep means all containers survive.
+        assert len(list((store / "containers").iterdir())) == containers
+
     def test_estimate(self, source_tree, capsys):
         assert run("estimate", source_tree) == 0
         out = capsys.readouterr().out
         assert "dedup ratio" in out
         assert "compressed" in out
+
+    def test_estimate_delta(self, source_tree, capsys):
+        assert run("estimate", source_tree, "--delta") == 0
+        assert "delta stage" in capsys.readouterr().out
 
     def test_schemes_listing(self, capsys):
         assert run("schemes") == 0
@@ -125,3 +144,39 @@ class TestMaintenanceCommands:
         for name in ("JungleDisk", "BackupPC", "Avamar", "SAM",
                      "AA-Dedupe"):
             assert name in out
+
+
+class TestDeltaFlag:
+    def test_backup_with_delta_and_restore(self, source_tree, tmp_path,
+                                           capsys, rng):
+        import re
+
+        # A near-duplicate of the document in the same tree: the delta
+        # stage should store its changed chunks as deltas within one
+        # invocation (the similarity index is per-process).
+        doc = source_tree / "docs" / "report.doc"
+        data = bytearray(doc.read_bytes())
+        data[1000:1016] = rng.integers(0, 256, 16,
+                                       dtype=np.uint8).tobytes()
+        (source_tree / "docs" / "report_v2.doc").write_bytes(bytes(data))
+
+        store = tmp_path / "cloud"
+        assert run("backup", source_tree, "--store", store,
+                   "--delta") == 0
+        out = capsys.readouterr().out
+        match = re.search(r"delta: (\d+) chunks", out)
+        assert match is not None and int(match.group(1)) > 0
+
+        dest = tmp_path / "out"
+        assert run("restore", "0", dest, "--store", store) == 0
+        assert (dest / "docs" / "report_v2.doc").read_bytes() == \
+            bytes(data)
+        assert (dest / "docs" / "report.doc").read_bytes() == \
+            doc.read_bytes()
+        assert run("scrub", "--store", store) == 0
+
+    def test_no_delta_overrides(self, source_tree, tmp_path, capsys):
+        store = tmp_path / "cloud"
+        assert run("backup", source_tree, "--store", store,
+                   "--no-delta") == 0
+        assert "delta:" not in capsys.readouterr().out
