@@ -69,6 +69,8 @@ def cmd_backup(args) -> int:
             args.container_size))
     if args.delta is not None:
         config = config.with_(delta_compress=args.delta)
+    if args.stat_cache is not None:
+        config = config.with_(stat_cache=args.stat_cache)
     tracer = None
     if args.profile:
         from repro.obs import Tracer
@@ -86,6 +88,12 @@ def cmd_backup(args) -> int:
               f"({stats.files_tiny} tiny files filtered, "
               f"{stats.chunks_unique} new chunks, "
               f"dedup {format_seconds(stats.dedup_wall_seconds)})")
+        if config.stat_cache and stats.files_unchanged:
+            print(f"  stat cache: {stats.files_unchanged} unchanged "
+                  f"files replayed without re-chunking "
+                  f"({stats.statcache_stale} stale, "
+                  f"{format_bytes(stats.ops.read_bytes)} read of "
+                  f"{format_bytes(stats.bytes_scanned)} scanned)")
         if config.delta_compress:
             print(f"  delta: {stats.chunks_delta} chunks stored as "
                   f"deltas, {format_bytes(stats.delta_bytes_saved)} "
@@ -167,6 +175,10 @@ def cmd_gc(args) -> int:
           f"{report.deleted_containers} containers, "
           f"{report.deleted_objects} objects; "
           f"{report.live_containers} containers live")
+    if report.statcache_invalidated:
+        print(f"stat caches invalidated "
+              f"({report.statcache_blobs_deleted} blobs dropped, "
+              f"GC epoch bumped)")
     return 0
 
 
@@ -296,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="enable/disable similarity + delta compression "
                         "of unique chunks (default: scheme setting)")
+    p.add_argument("--stat-cache", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="enable/disable the cross-session unchanged-"
+                        "file recipe cache (default: scheme setting)")
     p.add_argument("--quiet", action="store_true")
     p.add_argument("--profile", action="store_true",
                    help="trace the run; print a stage profile and write "

@@ -34,6 +34,7 @@ from repro.classify.policy import DedupPolicy
 from repro.container.manager import ContainerManager
 from repro.core import naming
 from repro.cloud.retry import RetryPolicy
+from repro.core.filecache import FileCache, read_epoch
 from repro.core.journal import SessionJournal
 from repro.core.options import SchemeConfig, aa_dedupe_config
 from repro.core.recipe import ChunkRef, FileEntry, Manifest
@@ -47,7 +48,7 @@ from repro.index.appaware import AppAwareIndex
 from repro.index.base import ChunkIndex, IndexEntry
 from repro.obs.metrics import CHUNK_SIZE_BUCKETS
 from repro.obs.tracer import NOOP_TRACER
-from repro.util.timer import Stopwatch
+from repro.util.timer import ConcurrentStopwatch, Stopwatch
 
 __all__ = ["BackupClient"]
 
@@ -70,6 +71,29 @@ class _DeltaBase:
         self.payload = payload
         self.ref = ref
         self.depth = depth
+
+
+class _PreparedFile:
+    """Output of the CPU half of the pipeline for one file.
+
+    Holds everything :meth:`BackupClient._place_prepared` needs to make
+    placement decisions: the sealed chunk payloads with their
+    fingerprints, in file order.  Preparation is thread-safe (it touches
+    no shared dedup state), so parallel mode runs it on worker threads
+    and replays the placements serially in source order.
+    """
+
+    __slots__ = ("sf", "app", "tiny", "file_fp", "policy", "chunks")
+
+    def __init__(self, sf: SourceFile, app) -> None:
+        self.sf = sf
+        self.app = app
+        self.tiny = False
+        #: SAM file-level-tier whole-file fingerprint (when probed).
+        self.file_fp: Optional[bytes] = None
+        self.policy: Optional[DedupPolicy] = None
+        #: (fingerprint, sealed payload, wrapped key, logical length).
+        self.chunks: list = []
 
 
 class _PipelinedUploader:
@@ -199,8 +223,18 @@ class BackupClient:
         #: SAM-style file-level tier: whole-file fingerprint -> recipe.
         self._file_tier: Dict[bytes, list] = {}
         self._uploader: Optional[_PipelinedUploader] = None
-        self._upload_watch = Stopwatch()
+        self._upload_watch = ConcurrentStopwatch()
         self._cloud_lock = threading.Lock()
+        # -- cross-session stat cache (see repro.core.filecache) --------
+        self._filecache: Optional[FileCache] = (
+            FileCache(self.config.name) if self.config.stat_cache
+            else None)
+        #: Replays allowed this session (epoch validated, cache warm).
+        self._replay_enabled = False
+        #: Whether the cache may be persisted at session commit.
+        self._statcache_ok = False
+        #: Whether the GC epoch was read from the cloud this session.
+        self._statcache_epoch_fresh = False
         #: Per-thread application label of the file being processed, so
         #: uploads triggered mid-file can be attributed to its app.
         self._app_ctx = threading.local()
@@ -325,7 +359,10 @@ class BackupClient:
         cfg = self.config
         if session_id is None:
             session_id = self._next_session
-        self._next_session = session_id + 1
+        # Never rewind the auto counter: re-running an older explicit id
+        # must not make later auto ids collide with (and silently
+        # overwrite) newer manifests.
+        self._next_session = max(self._next_session, session_id + 1)
         with self.tracer.span("session", scheme=cfg.name,
                               session=session_id):
             return self._backup_traced(source, session_id)
@@ -343,7 +380,8 @@ class BackupClient:
         self.index.reset_stats()
         puts_before = self.cloud.stats.put_requests
         up_before = self.cloud.stats.bytes_uploaded
-        self._upload_watch = Stopwatch()
+        self._upload_watch = ConcurrentStopwatch()
+        self._statcache_begin(stats)
         self._journal = self._open_journal(session_id) \
             if cfg.resumable else None
         if cfg.pipeline_uploads:
@@ -364,6 +402,8 @@ class BackupClient:
                     stats.note_app(entry.app, sf.size,
                                    stats.bytes_unique - unique_before)
                     manifest.add(entry)
+                    if self._filecache is not None:
+                        self._filecache.record(entry)
             if self._containers is not None:
                 self._containers.flush()
         finally:
@@ -393,6 +433,10 @@ class BackupClient:
             self._journal.commit()
             stats.warnings.extend(self._journal.warnings)
             self._journal = None
+
+        # The manifest upload committed the session, so the recipes
+        # staged during it become the next session's stat cache.
+        self._statcache_commit(stats)
 
         # Periodic index replication for disaster recovery (Sec. III-E).
         # A failed push degrades to a warning: dedup continuity is
@@ -424,42 +468,86 @@ class BackupClient:
     def _backup_parallel(self, source: Iterable[SourceFile],
                          stats: SessionStats, manifest: Manifest,
                          session_id: int) -> None:
-        """Per-application parallel deduplication (Observation 2).
+        """Parallel preparation, deterministic serial placement.
 
-        Files are grouped by application label; each group runs on its
-        own worker thread against its own subindex and container stream,
-        so workers share no dedup state.  Shared resources (container
-        id allocation, the upload path) are internally locked.  Worker
-        partial stats merge into the session totals at the end.
+        Worker threads run the CPU half of the pipeline — read, chunk,
+        seal, fingerprint (:meth:`_prepare_file`) — which touches no
+        shared dedup state.  The coordinator then drains the prepared
+        files **strictly in source order** and performs all placement
+        (index probes, container appends, the delta stage) itself, so
+        container ids and offsets — and therefore manifest bytes — are
+        identical to a serial run of the same source.  The earlier
+        design let each worker place its own application group, which
+        interleaved container-id allocation nondeterministically and
+        made manifests differ between ``parallel_workers=1`` and ``>1``.
+
+        A bounded submission window keeps at most a few prepared
+        payloads resident; stat-cache matches skip preparation entirely
+        and replay at drain time.
         """
+        from collections import deque
         from concurrent.futures import ThreadPoolExecutor
 
-        groups: Dict[str, list] = {}
-        for sf in source:
-            groups.setdefault(classify_name(sf.path).label, []).append(sf)
+        cache = self._filecache
+        tracer = self.tracer
 
-        def worker(files: list) -> tuple:
+        def prepare(sf: SourceFile, app) -> tuple:
             local = SessionStats(session_id=session_id,
                                  scheme=self.config.name)
-            entries = []
-            for sf in files:
-                unique_before = local.bytes_unique
-                entry = self._process_file(sf, local, session_id)
-                local.note_app(entry.app, sf.size,
-                               local.bytes_unique - unique_before)
-                entries.append(entry)
-            return entries, local
+            if not tracer.enabled:
+                return self._prepare_file(sf, app, local), local
+            with tracer.span("file", app=app.label,
+                             category=app.category.value, bytes=sf.size):
+                return self._prepare_file(sf, app, local), local
 
+        window = max(4, 2 * self.config.parallel_workers)
+        pending: deque = deque()
+        source_iter = iter(source)
+        exhausted = False
         with ThreadPoolExecutor(
                 max_workers=self.config.parallel_workers,
                 thread_name_prefix="aa-dedup") as pool:
-            futures = [pool.submit(worker, files)
-                       for files in groups.values()]
-            for future in futures:
-                entries, local = future.result()
-                stats.merge(local)
-                for entry in entries:
-                    manifest.add(entry)
+            while True:
+                while not exhausted and len(pending) < window:
+                    try:
+                        sf = next(source_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    app = classify_name(sf.path)
+                    if (cache is not None and self._replay_enabled
+                            and cache.match(app.label, sf.path, sf.size,
+                                            sf.mtime_ns) is not None):
+                        pending.append((sf, app, None))
+                    else:
+                        pending.append((sf, app,
+                                        pool.submit(prepare, sf, app)))
+                if not pending:
+                    break
+                sf, app, future = pending.popleft()
+                stats.files_total += 1
+                stats.bytes_scanned += sf.size
+                unique_before = stats.bytes_unique
+                if future is None:
+                    entry = self._replay_cached(sf, app, stats)
+                    if entry is None:  # went stale since submission
+                        entry = self._process_fresh(sf, app, stats,
+                                                    session_id)
+                else:
+                    prep, local = future.result()
+                    stats.ops.merge(local.ops)
+                    if tracer.enabled:
+                        self._app_ctx.label = app.label
+                    try:
+                        entry = self._place_prepared(prep, stats)
+                    finally:
+                        if tracer.enabled:
+                            self._app_ctx.label = None
+                stats.note_app(app.label, sf.size,
+                               stats.bytes_unique - unique_before)
+                manifest.add(entry)
+                if cache is not None:
+                    cache.record(entry)
 
     # ------------------------------------------------------------------
     def _process_file(self, sf: SourceFile, stats: SessionStats,
@@ -467,6 +555,14 @@ class BackupClient:
         app = classify_name(sf.path)
         stats.files_total += 1
         stats.bytes_scanned += sf.size
+        entry = self._replay_cached(sf, app, stats)
+        if entry is not None:
+            return entry
+        return self._process_fresh(sf, app, stats, session_id)
+
+    def _process_fresh(self, sf: SourceFile, app, stats: SessionStats,
+                       session_id: int) -> FileEntry:
+        """Full pipeline for one file (no usable stat-cache entry)."""
         tracer = self.tracer
         if not tracer.enabled:
             return self._dedup_file(sf, app, stats, session_id)
@@ -497,50 +593,59 @@ class BackupClient:
     def _dedup_file(self, sf: SourceFile, app, stats: SessionStats,
                     session_id: int) -> FileEntry:
         cfg = self.config
-        tracer = self.tracer
         if cfg.incremental_only:
             return self._process_incremental(sf, app, stats, session_id)
+        # Preparation (CPU) and placement (shared dedup state) are split
+        # so parallel mode can run preparation on worker threads while
+        # keeping every placement decision serial and deterministic.
+        prep = self._prepare_file(sf, app, stats)
+        return self._place_prepared(prep, stats)
 
+    def _prepare_file(self, sf: SourceFile, app,
+                      stats: SessionStats) -> _PreparedFile:
+        """CPU half of the pipeline: read, chunk, seal, fingerprint.
+
+        Touches no shared dedup state (index, containers, file tier,
+        delta stage), so it is safe on any thread; all side effects are
+        charged to the caller's ``stats``.
+        """
+        cfg = self.config
+        tracer = self.tracer
         data = sf.read()
         stats.ops.read_bytes += len(data)
-        entry = FileEntry(path=sf.path, size=sf.size, mtime_ns=sf.mtime_ns,
-                          app=app.label, category=app.category.value)
+        prep = _PreparedFile(sf, app)
 
         # 1. File size filter (Observation 1): tiny files bypass dedup.
         if sf.size < cfg.tiny_file_threshold:
-            stats.files_tiny += 1
-            entry.tiny = True
+            prep.tiny = True
             if sf.size:
-                data, key = self._seal(data)
-                fp = self._fingerprint(get_hash("sha1"), "sha1", data,
-                                       len(data), app.label, stats)
-                ref = self._store_unique(fp, data, stream="tiny",
-                                         tiny=True)
-                entry.refs.append(self._attach_key(ref, key))
-                stats.bytes_unique += len(data)
-            return entry
+                payload, key = self._seal(data)
+                fp = self._fingerprint(get_hash("sha1"), "sha1", payload,
+                                       len(payload), app.label, stats)
+                prep.chunks.append((fp, payload, key, len(payload)))
+            return prep
 
-        # 2. Optional file-level tier (SAM): whole-file probe first.  A
-        # hit replays the previous recipe, skipping chunking entirely —
-        # the tier saves *work*, which is its purpose in SAM.
+        # 2. Optional file-level tier (SAM): whole-file fingerprint for
+        # the probe that placement performs.
         policy = cfg.policy_for(app.category)
-        file_fp: Optional[bytes] = None
+        prep.policy = policy
         if cfg.file_level_first and policy.chunker != "wfc" and sf.size:
-            file_fp = self._fingerprint(
+            prep.file_fp = self._fingerprint(
                 _FILE_TIER_POLICY.fingerprinter(),
                 _FILE_TIER_POLICY.hash_name, data, len(data),
                 app.label, stats)
-            stats.ops.index_lookups += 1
-            recipe = self._file_tier.get(file_fp)
-            if recipe is not None:
-                stats.ops.index_hits += 1
-                entry.refs.extend(recipe)
-                return entry
+            # A known whole file will replay its tier recipe during
+            # placement, so chunking it here would be wasted work — the
+            # very work the tier exists to save.  Peeking at the tier is
+            # safe: file_level_first is serial-only (ConfigError guards
+            # the parallel combination), and the accounted probe still
+            # happens in _place_prepared.
+            if self._file_tier.get(prep.file_fp) is not None:
+                return prep
 
-        # 3. Intelligent chunking + 4. application-aware dedup.
+        # 3. Intelligent chunking + per-chunk fingerprints.
         chunker = self._chunker_for(policy)
         hasher = policy.fingerprinter()
-        namespace = cfg.index_namespace(app.label, policy)
         if isinstance(chunker, RabinCDC):
             stats.ops.cdc_scanned_bytes += len(data)
         if tracer.enabled:
@@ -558,17 +663,57 @@ class BackupClient:
                 tracer.metrics.histogram(
                     "chunk_bytes",
                     CHUNK_SIZE_BUCKETS).observe(chunk.length)
+            prep.chunks.append((fp, payload, key, chunk.length))
+        return prep
+
+    def _place_prepared(self, prep: _PreparedFile,
+                        stats: SessionStats) -> FileEntry:
+        """Placement half: dedup against the index, store unique data.
+
+        Must run on the coordinator thread — it mutates the index, the
+        container streams, the SAM file tier and the delta stage, and
+        the order of these mutations determines manifest bytes.
+        """
+        sf, app = prep.sf, prep.app
+        entry = FileEntry(path=sf.path, size=sf.size, mtime_ns=sf.mtime_ns,
+                          app=app.label, category=app.category.value)
+
+        if prep.tiny:
+            stats.files_tiny += 1
+            entry.tiny = True
+            for fp, payload, key, _length in prep.chunks:
+                ref = self._store_unique(fp, payload, stream="tiny",
+                                         tiny=True)
+                entry.refs.append(self._attach_key(ref, key))
+                stats.bytes_unique += len(payload)
+            return entry
+
+        # File-level tier (SAM): a whole-file hit replays the previous
+        # recipe, skipping chunk-level dedup entirely — the tier saves
+        # *work*, which is its purpose in SAM.
+        if prep.file_fp is not None:
+            stats.ops.index_lookups += 1
+            recipe = self._file_tier.get(prep.file_fp)
+            if recipe is not None:
+                stats.ops.index_hits += 1
+                entry.refs.extend(recipe)
+                return entry
+
+        # 4. Application-aware dedup.
+        policy = prep.policy
+        namespace = self.config.index_namespace(app.label, policy)
+        for fp, payload, key, length in prep.chunks:
             existing = self.index.lookup(namespace, fp)
             if existing is not None:
                 self.index.insert(namespace, existing.bumped())
                 ref = self._ref_for(existing)
             else:
-                ref = self._place_unique(fp, payload, chunk.length,
+                ref = self._place_unique(fp, payload, length,
                                          namespace, app.label, stats,
                                          policy)
             entry.refs.append(self._attach_key(ref, key))
-        if file_fp is not None:
-            self._file_tier[file_fp] = list(entry.refs)
+        if prep.file_fp is not None:
+            self._file_tier[prep.file_fp] = list(entry.refs)
         return entry
 
     # -- convergent encryption hooks (secure dedup, paper Sec. VI) ------
@@ -616,6 +761,177 @@ class BackupClient:
             entry.refs.append(ChunkRef(fingerprint=fp, length=len(data),
                                        object_key=key))
         return entry
+
+    # -- cross-session stat cache (see repro.core.filecache) ------------
+    def _statcache_begin(self, stats: SessionStats) -> None:
+        """Start-of-session cache maintenance and epoch validation.
+
+        Replay is enabled only when the cloud's GC epoch matches the
+        resident cache's: a sweep between sessions may have deleted
+        extents the cached recipes reference.  The epoch read is skipped
+        while the cache is empty (nothing to validate), so schemes that
+        never accumulate cache state — mtime-less sources — cost no
+        extra cloud requests at all.
+        """
+        cache = self._filecache
+        self._replay_enabled = False
+        self._statcache_ok = False
+        self._statcache_epoch_fresh = False
+        if cache is None:
+            return
+        cache.begin_session()
+        if len(cache) == 0:
+            self._statcache_ok = True
+            return
+        try:
+            epoch = read_epoch(self.cloud)
+        except CloudError as exc:
+            stats.warnings.append(
+                f"stat cache disabled this session "
+                f"(GC epoch unreadable): {exc}")
+            return
+        self._statcache_epoch_fresh = True
+        if epoch != cache.epoch:
+            cache.clear()
+            cache.epoch = epoch
+        self._statcache_ok = True
+        self._replay_enabled = len(cache) > 0
+
+    def _statcache_commit(self, stats: SessionStats) -> None:
+        """Promote and (best-effort) persist the cache post-manifest.
+
+        Runs only after the manifest upload succeeded — the session is
+        committed, so every staged recipe is durably referenced.  A
+        failed blob save degrades to a warning: the resident cache is
+        already current, and a stale cloud blob is safe (its refs stay
+        live until a GC sweep, which bumps the epoch it is stamped
+        with).
+        """
+        cache = self._filecache
+        if cache is None:
+            return
+        dirty = cache.commit()
+        if not self._statcache_ok or not dirty:
+            return
+        if not self._statcache_epoch_fresh:
+            try:
+                cache.epoch = read_epoch(self.cloud)
+            except CloudError as exc:
+                stats.warnings.append(
+                    f"stat cache not persisted (GC epoch unreadable): "
+                    f"{exc}")
+                return
+        tracer = self.tracer
+        for app in dirty:
+            blob = cache.blob_for(app)
+            key = naming.statcache_key(app)
+            try:
+                if tracer.enabled:
+                    with tracer.span("statcache.save", app=app,
+                                     bytes=len(blob)):
+                        with self._upload_watch:
+                            self._cloud_put(key, blob)
+                else:
+                    with self._upload_watch:
+                        self._cloud_put(key, blob)
+            except CloudError as exc:
+                stats.warnings.append(
+                    f"stat cache save failed for {app!r} "
+                    f"(retried next session): {exc}")
+
+    def _replay_cached(self, sf: SourceFile, app,
+                       stats: SessionStats) -> Optional[FileEntry]:
+        """Stat-cache fast path: replay an unchanged file's recipe.
+
+        Returns ``None`` on a miss or a stale hit (caller runs the full
+        pipeline).  On a hit the file is never ``read()``, chunked or
+        hashed; refcounts are still bumped and the dedup accounting
+        still sees the file's logical bytes.
+        """
+        cache = self._filecache
+        if cache is None or not self._replay_enabled:
+            return None
+        cached = cache.match(app.label, sf.path, sf.size, sf.mtime_ns)
+        if cached is None:
+            return None
+        tracer = self.tracer
+        entry = self._validated_replay(cached, sf, app)
+        if entry is None:
+            stats.statcache_stale += 1
+            cache.discard(app.label, sf.path)
+            if tracer.enabled:
+                tracer.metrics.counter("statcache_stale_total").inc()
+            return None
+        stats.files_unchanged += 1
+        if entry.tiny:
+            stats.files_tiny += 1
+        if tracer.enabled:
+            with tracer.span("statcache.replay", app=app.label,
+                             bytes=sf.size, refs=len(entry.refs)):
+                pass
+            tracer.metrics.counter("statcache_hits_total").inc()
+        return entry
+
+    def _validated_replay(self, cached: FileEntry, sf: SourceFile,
+                          app) -> Optional[FileEntry]:
+        """Revalidate a cached recipe against the live index and bump.
+
+        Every non-delta ref in every chain must still resolve to the
+        same container extent (or standalone object) in the exact
+        index; tiny-file refs bypass the index by design and are
+        covered by the GC-epoch check alone.  Refcounts are bumped only
+        after *all* refs validate, so a stale entry leaves no partial
+        refcount churn behind.
+        """
+        cfg = self.config
+        policy = cfg.policy_for(app.category)
+        namespace = cfg.index_namespace(app.label, policy)
+        bumps = []
+        for top in cached.refs:
+            ref = top
+            while ref is not None:
+                if not ref.is_delta and not cached.tiny:
+                    existing = self.index.lookup(namespace,
+                                                 ref.fingerprint)
+                    if existing is None:
+                        return None
+                    if ref.in_container and (
+                            existing.container_id != ref.container_id
+                            or existing.offset != ref.offset):
+                        return None
+                    bumps.append(existing)
+                ref = ref.delta_base
+        for existing in bumps:
+            self.index.insert(namespace, existing.bumped())
+        return FileEntry(path=sf.path, size=sf.size,
+                         mtime_ns=sf.mtime_ns, app=app.label,
+                         category=app.category.value,
+                         refs=list(cached.refs), tiny=cached.tiny)
+
+    def _load_statcache(self) -> int:
+        """Pull persisted stat-cache blobs (disaster-recovery resume).
+
+        Returns the number of file entries recovered.  Blobs stamped
+        with another GC epoch or another scheme are ignored; any cloud
+        failure degrades to an empty cache.
+        """
+        cache = self._filecache
+        if cache is None:
+            return 0
+        loaded = 0
+        try:
+            cache.epoch = read_epoch(self.cloud)
+            for key in self.cloud.list(naming.STATCACHE_PREFIX):
+                if key == naming.STATCACHE_EPOCH_KEY:
+                    continue
+                try:
+                    loaded += cache.load_blob(self.cloud.get(key))
+                except (ValueError, KeyError):
+                    continue  # corrupt blob: equivalent to a cache miss
+        except CloudError:
+            cache.clear()
+            return 0
+        return loaded
 
     # -- delta-compression stage (post-dedup similarity detection) ------
     def _place_unique(self, fp: bytes, payload: bytes, length: int,
@@ -770,13 +1086,16 @@ class BackupClient:
         """Rebuild dedup state from cloud replicas (new process/machine).
 
         Pulls every synced application subindex, loads the most recent
-        manifest (for incremental change detection), and fast-forwards
-        the session counter past existing manifests.  Returns the number
-        of index entries recovered.  Together with the containers being
-        self-describing, this makes the client fully stateless across
-        invocations — the CLI calls it on startup.
+        manifest (for incremental change detection), reloads the
+        persisted stat cache (so unchanged files skip re-chunking even
+        across process restarts), and fast-forwards the session counter
+        past existing manifests.  Returns the number of index entries
+        recovered.  Together with the containers being self-describing,
+        this makes the client fully stateless across invocations — the
+        CLI calls it on startup.
         """
         restored = self._sync.pull(self.index)
+        self._load_statcache()
         latest_id = -1
         for key in self.cloud.list(naming.MANIFEST_PREFIX):
             stem = key.rsplit("session-", 1)[-1].split(".", 1)[0]

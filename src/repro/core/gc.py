@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Set
 
 from repro.core import naming
+from repro.core.filecache import invalidate_statcache
 from repro.core.recipe import Manifest
 from repro.errors import ReproError
 
@@ -46,6 +47,11 @@ class GCReport:
     #: retained manifest that failed to parse).  Non-empty problems mean
     #: nothing was deleted and the CLI exits non-zero.
     problems: List[str] = field(default_factory=list)
+    #: Whether the sweep deleted data and therefore bumped the GC epoch,
+    #: invalidating all stat caches (see docs/STATCACHE.md).
+    statcache_invalidated: bool = False
+    #: Persisted stat-cache blobs removed by the invalidation.
+    statcache_blobs_deleted: int = 0
 
 
 def _session_id_of(manifest_key: str) -> int:
@@ -118,4 +124,14 @@ def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
             if key not in live_objects:
                 cloud.delete(key)
                 report.deleted_objects += 1
+
+    # --- invalidate stat caches ----------------------------------------
+    # Cached recipes may reference the extents just deleted, so any
+    # sweep that removed data bumps the GC epoch: persisted blobs are
+    # dropped here, resident client caches on their next epoch check.
+    # Manifest-only deletions leave every extent in place, so caches
+    # stay warm.
+    if report.deleted_containers or report.deleted_objects:
+        report.statcache_blobs_deleted = invalidate_statcache(cloud)
+        report.statcache_invalidated = True
     return report

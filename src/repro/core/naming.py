@@ -5,9 +5,10 @@ from __future__ import annotations
 import hashlib
 
 __all__ = ["container_key", "chunk_key", "file_key", "manifest_key",
-           "index_key", "journal_key", "delta_key", "MANIFEST_PREFIX",
-           "CONTAINER_PREFIX", "CHUNK_PREFIX", "FILE_PREFIX",
-           "INDEX_PREFIX", "JOURNAL_PREFIX", "DELTA_PREFIX"]
+           "index_key", "journal_key", "delta_key", "statcache_key",
+           "MANIFEST_PREFIX", "CONTAINER_PREFIX", "CHUNK_PREFIX",
+           "FILE_PREFIX", "INDEX_PREFIX", "JOURNAL_PREFIX",
+           "DELTA_PREFIX", "STATCACHE_PREFIX", "STATCACHE_EPOCH_KEY"]
 
 CONTAINER_PREFIX = "containers/"
 CHUNK_PREFIX = "chunks/"
@@ -16,6 +17,10 @@ MANIFEST_PREFIX = "manifests/"
 INDEX_PREFIX = "index/"
 JOURNAL_PREFIX = "journals/"
 DELTA_PREFIX = "deltas/"
+STATCACHE_PREFIX = "statcache/"
+#: Monotonic GC generation stamp; every sweep that deletes data bumps
+#: it, invalidating any persisted (or resident) stat-cache state.
+STATCACHE_EPOCH_KEY = "statcache/EPOCH"
 
 
 def container_key(container_id: int) -> str:
@@ -59,3 +64,9 @@ def index_key(app: str) -> str:
     """Key of one application subindex replica (periodic sync)."""
     safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in app)
     return f"{INDEX_PREFIX}{safe}.idx"
+
+
+def statcache_key(app: str) -> str:
+    """Key of one application's persisted stat-cache blob."""
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in app)
+    return f"{STATCACHE_PREFIX}{safe}.fc"

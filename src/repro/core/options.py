@@ -119,6 +119,15 @@ class SchemeConfig:
     #: must never re-download them mid-backup.
     delta_base_cache: int = 256
 
+    #: Cross-session unchanged-file recipe cache (stat cache): a file
+    #: whose ``(path, size, mtime_ns)`` triple matches the previous
+    #: successful session replays its cached recipe without being read,
+    #: chunked or hashed (see docs/STATCACHE.md).  Replayed refs are
+    #: revalidated against the live index and the GC epoch; a stale hit
+    #: falls back to the full pipeline.  On for AA-Dedupe; the baselines
+    #: keep it off so their measured work stays paper-faithful.
+    stat_cache: bool = False
+
     #: Where the fingerprint index physically lives — a modelling knob
     #: consumed by the trace engine: ``"ram"`` (hash table with the
     #: residency model) or ``"fs"`` (a filesystem pool à la BackupPC,
@@ -170,6 +179,10 @@ class SchemeConfig:
             if self.delta_sim_capacity < 1 or self.delta_base_cache < 1:
                 raise ConfigError(
                     "delta_sim_capacity/delta_base_cache must be >= 1")
+        if self.stat_cache and self.incremental_only:
+            raise ConfigError(
+                "stat_cache requires a dedup scheme: incremental mode "
+                "already skips unchanged files by metadata")
         if self.journal_flush_interval < 1:
             raise ConfigError("journal_flush_interval must be >= 1")
         if self.use_containers and self.container_size < 4096:
@@ -221,6 +234,7 @@ def aa_dedupe_config(**overrides) -> SchemeConfig:
         policy_table=AA_POLICY_TABLE,
         index_layout="app",
         index_sync_interval=1,
+        stat_cache=True,
     )
     base.update(overrides)
     return SchemeConfig(**base)

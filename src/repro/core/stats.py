@@ -77,7 +77,12 @@ class SessionStats:
     # -- population -----------------------------------------------------
     files_total: int = 0
     files_tiny: int = 0
+    #: Files skipped by metadata: incremental mode's size+mtime check,
+    #: or a stat-cache recipe replay (see docs/STATCACHE.md).
     files_unchanged: int = 0
+    #: Stat-cache hits whose cached refs failed revalidation against
+    #: the live index (the file fell back to the full pipeline).
+    statcache_stale: int = 0
     chunks_unique: int = 0
 
     # -- delta compression (similarity stage, see repro.delta) ----------
@@ -150,6 +155,7 @@ class SessionStats:
         self.files_total += other.files_total
         self.files_tiny += other.files_tiny
         self.files_unchanged += other.files_unchanged
+        self.statcache_stale += other.statcache_stale
         self.chunks_unique += other.chunks_unique
         self.chunks_delta += other.chunks_delta
         self.delta_bytes_stored += other.delta_bytes_stored

@@ -33,6 +33,7 @@ _ROOT_NAMES = ("session", "restore")
 _STAGE_GROUPS = (
     ("chunk", "chunk"),
     ("hash", "hash"),
+    ("statcache", "statcache"),
     ("index", "index"),
     ("delta", "delta"),
     ("upload", "transfer"),
@@ -161,8 +162,8 @@ def stage_breakdown(spans: Sequence[Span]) -> Profile:
     return profile
 
 
-_APP_COLUMNS = ("chunk", "hash", "index", "container", "transfer",
-                "other")
+_APP_COLUMNS = ("chunk", "hash", "statcache", "index", "container",
+                "transfer", "other")
 
 
 def render_profile(spans: Sequence[Span]) -> str:

@@ -180,3 +180,21 @@ class TestDeltaFlag:
         assert run("backup", source_tree, "--store", store,
                    "--no-delta") == 0
         assert "delta:" not in capsys.readouterr().out
+
+    def test_stat_cache_replays_unchanged_tree(self, source_tree,
+                                               tmp_path, capsys):
+        # Directory sources carry real mtimes, so a second backup of
+        # the untouched tree replays every file from the stat cache.
+        store = tmp_path / "cloud"
+        assert run("backup", source_tree, "--store", store) == 0
+        capsys.readouterr()
+        assert run("backup", source_tree, "--store", store) == 0
+        out = capsys.readouterr().out
+        assert "stat cache: 3 unchanged files replayed" in out
+
+    def test_no_stat_cache_overrides(self, source_tree, tmp_path,
+                                     capsys):
+        store = tmp_path / "cloud"
+        run("backup", source_tree, "--store", store, "--no-stat-cache")
+        run("backup", source_tree, "--store", store, "--no-stat-cache")
+        assert "stat cache:" not in capsys.readouterr().out

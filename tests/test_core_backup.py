@@ -177,6 +177,22 @@ class TestAAPipeline:
         stats2 = client.backup(MemorySource(dataset))
         assert stats2.session_id == 42
 
+    def test_rerunning_old_session_id_never_rewinds_counter(self, dataset):
+        # Regression: backup(session_id=k) used to set _next_session to
+        # k+1 unconditionally, so re-running an *older* explicit id made
+        # the next auto id collide with — and silently overwrite — a
+        # newer manifest.
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, small_config())
+        client.backup(MemorySource(dataset))            # auto id 0
+        client.backup(MemorySource(dataset))            # auto id 1
+        newer = cloud.get(naming.manifest_key(1))
+        client.backup(MemorySource(dataset), session_id=0)  # re-run old
+        stats = client.backup(MemorySource(dataset))    # auto id again
+        assert stats.session_id == 2
+        assert cloud.get(naming.manifest_key(1)) == newer
+        assert set(client.manifests) == {0, 1, 2}
+
 
 class TestConfigValidation:
     def test_bad_index_layout(self):

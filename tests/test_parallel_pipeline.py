@@ -2,12 +2,14 @@
 
 import pytest
 
-from repro.cloud import InMemoryBackend
+from repro.cloud import InMemoryBackend, SimulatedCloud
 from repro.core import (
     BackupClient,
     RestoreClient,
     aa_dedupe_config,
 )
+from repro.core import naming
+from repro.simulate.clock import VirtualClock
 from repro.errors import ConfigError
 from repro.simulate.pipeline import backup_window, simulate_two_stage_pipeline
 from repro.util.units import KIB, MB
@@ -46,6 +48,24 @@ class TestParallelDedup:
         assert p_stats.app_scanned == s_stats.app_scanned
         assert p_stats.app_unique == s_stats.app_unique
         assert parallel.index.sizes() == serial.index.sizes()
+
+    @pytest.mark.parametrize("workers", [2, 4, 7])
+    def test_manifest_bytes_identical_to_serial(self, snapshot, workers):
+        # Regression: parallel placement used to interleave container-id
+        # and offset allocation across worker threads, so the refs in
+        # the manifest — and hence its bytes — differed from a serial
+        # run of the same source.  Placement is now serial in source
+        # order; a virtual clock removes the only other source of
+        # nondeterminism (the created-at stamp).
+        def manifest_bytes(n_workers):
+            cloud = SimulatedCloud(InMemoryBackend(), clock=VirtualClock())
+            client = BackupClient(cloud, aa_dedupe_config(
+                container_size=64 * KIB, parallel_workers=n_workers))
+            client.backup(snapshot_to_memory_source(snapshot))
+            client.close()
+            return cloud.get(naming.manifest_key(0))
+
+        assert manifest_bytes(workers) == manifest_bytes(1)
 
     def test_parallel_restores_bit_exact(self, snapshot):
         cloud = InMemoryBackend()

@@ -1,0 +1,329 @@
+"""Tests for the cross-session stat cache (repro.core.filecache) and its
+wiring into the backup engine: replay semantics, safety rules (size+mtime
+triple, GC-epoch invalidation, stale-ref fallback), persistence across
+process restarts, and parity with cache-off runs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cloud import InMemoryBackend, SimulatedCloud
+from repro.core import (
+    BackupClient,
+    FileCache,
+    MemorySource,
+    RestoreClient,
+    aa_dedupe_config,
+    collect_garbage,
+    invalidate_statcache,
+)
+from repro.core import naming
+from repro.core.filecache import read_epoch
+from repro.core.recipe import ChunkRef, FileEntry
+from repro.core.scrub import scrub_cloud
+from repro.simulate.clock import VirtualClock
+from repro.util.units import KIB
+
+
+def small_config(**overrides):
+    base = dict(container_size=64 * KIB)
+    base.update(overrides)
+    return aa_dedupe_config(**base)
+
+
+@pytest.fixture()
+def dataset(rng):
+    def blob(n):
+        return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+    files = {
+        "music/song.mp3": blob(50_000),
+        "docs/report.doc": blob(60_000),
+        "vm/image.vmdk": blob(100_000),
+        "misc/readme.txt": blob(12_000),
+        "misc/tiny.txt": blob(512),
+    }
+    mtimes = {path: 1_000 + i for i, path in enumerate(sorted(files))}
+    return files, mtimes
+
+
+class TestStatCacheReplay:
+    def test_unchanged_session_replays_without_reading(self, dataset):
+        files, mtimes = dataset
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, small_config())
+        client.backup(MemorySource(files, mtimes))
+        s2 = client.backup(MemorySource(files, mtimes))
+        # Every file replayed from cache: no reads, no chunking, no
+        # hashing — but the dedup accounting still sees the bytes.
+        assert s2.files_unchanged == len(files)
+        assert s2.ops.read_bytes == 0
+        assert s2.ops.cdc_scanned_bytes == 0
+        assert sum(s2.ops.hashed_bytes.values()) == 0
+        assert s2.bytes_scanned == sum(len(v) for v in files.values())
+        assert s2.bytes_unique == 0
+        restored, report = RestoreClient(cloud).restore_to_memory(1)
+        assert restored == files
+        assert not report.corrupt
+
+    def test_changed_file_takes_full_pipeline(self, dataset):
+        files, mtimes = dataset
+        client = BackupClient(InMemoryBackend(), small_config())
+        client.backup(MemorySource(files, mtimes))
+        files2 = dict(files)
+        files2["docs/report.doc"] = files["docs/report.doc"] + b"more"
+        mtimes2 = dict(mtimes)
+        mtimes2["docs/report.doc"] = 9_999
+        s2 = client.backup(MemorySource(files2, mtimes2))
+        assert s2.files_unchanged == len(files) - 1
+        assert s2.ops.read_bytes == len(files2["docs/report.doc"])
+
+    def test_mtime_less_source_never_replays(self, dataset):
+        # mtime_ns == 0 is the "unknown" sentinel: sources without
+        # stamps must always take the full pipeline.
+        files, _ = dataset
+        client = BackupClient(InMemoryBackend(), small_config())
+        client.backup(MemorySource(files))
+        s2 = client.backup(MemorySource(files))
+        assert s2.files_unchanged == 0
+        assert s2.ops.read_bytes == sum(len(v) for v in files.values())
+        assert len(client._filecache) == 0
+
+    def test_triple_requires_both_size_and_mtime(self):
+        # An mtime rollback with a content change must never replay
+        # wrong bytes: the triple matches only when size AND mtime both
+        # match the cached entry.
+        a = bytes(range(256)) * 100          # 25600 B
+        b = bytes(reversed(range(256))) * 100  # same size, new content
+        c = a + b"tail"                       # new size
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, small_config())
+        client.backup(MemorySource({"f.doc": a}, {"f.doc": 5}))
+        # Same size, different mtime: miss, full pipeline.
+        s2 = client.backup(MemorySource({"f.doc": b}, {"f.doc": 7}))
+        assert s2.files_unchanged == 0 and s2.ops.read_bytes == len(b)
+        # mtime rolled back to a cached stamp, different size: miss.
+        s3 = client.backup(MemorySource({"f.doc": c}, {"f.doc": 5}))
+        assert s3.files_unchanged == 0 and s3.ops.read_bytes == len(c)
+        for sid, want in enumerate([a, b, c]):
+            restored, _ = RestoreClient(cloud).restore_to_memory(sid)
+            assert restored == {"f.doc": want}
+
+    def test_gc_sweep_invalidates_cache(self, dataset, rng):
+        files, mtimes = dataset
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, small_config())
+        extra_files = dict(files)
+        # Big enough to fill whole containers of its own, so dropping it
+        # actually deletes data (a dead container) rather than leaving
+        # partially-live containers behind.
+        extra_files["docs/old.doc"] = rng.integers(
+            0, 256, size=300_000, dtype=np.uint8).tobytes()
+        extra_mtimes = dict(mtimes, **{"docs/old.doc": 77})
+        client.backup(MemorySource(extra_files, extra_mtimes))
+        client.backup(MemorySource(files, mtimes))     # old.doc vanishes
+        assert cloud.list(naming.STATCACHE_PREFIX)
+        report = collect_garbage(cloud, retain_sessions=[1])
+        # old.doc's extents died, so the sweep must bump the epoch and
+        # drop every persisted blob.
+        assert report.statcache_invalidated
+        assert [k for k in cloud.list(naming.STATCACHE_PREFIX)
+                if k != naming.STATCACHE_EPOCH_KEY] == []
+        # The resident cache is now a different epoch: session 2 must
+        # re-chunk everything instead of replaying possibly-dead refs.
+        s3 = client.backup(MemorySource(files, mtimes))
+        assert s3.files_unchanged == 0
+        assert s3.ops.read_bytes == sum(len(v) for v in files.values())
+        # ... and the rebuilt cache replays again one session later.
+        s4 = client.backup(MemorySource(files, mtimes))
+        assert s4.files_unchanged == len(files)
+        restored, _ = RestoreClient(cloud).restore_to_memory(3)
+        assert restored == files
+
+    def test_stale_cached_ref_falls_back(self, dataset):
+        # A cached recipe whose ref no longer resolves in the index must
+        # be discarded, counted, and the file re-processed — never
+        # replayed blind.
+        files, mtimes = dataset
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, small_config())
+        client.backup(MemorySource(files, mtimes))
+        cache = client._filecache
+        entry = cache._apps["doc"]["docs/report.doc"]
+        bogus = [dataclasses.replace(r, fingerprint=b"\x00" * len(
+            r.fingerprint)) for r in entry.refs]
+        cache._apps["doc"]["docs/report.doc"] = dataclasses.replace(
+            entry, refs=bogus)
+        s2 = client.backup(MemorySource(files, mtimes))
+        assert s2.statcache_stale == 1
+        assert s2.files_unchanged == len(files) - 1
+        assert s2.ops.read_bytes == len(files["docs/report.doc"])
+        restored, _ = RestoreClient(cloud).restore_to_memory(1)
+        assert restored == files
+
+    def test_cold_cache_manifest_parity(self, dataset):
+        # With a cold cache the engine must behave byte-identically to
+        # stat_cache=False — same manifest, same uploads.
+        files, mtimes = dataset
+
+        def manifest_bytes(stat_cache):
+            cloud = SimulatedCloud(InMemoryBackend(), clock=VirtualClock())
+            client = BackupClient(
+                cloud, small_config(stat_cache=stat_cache))
+            client.backup(MemorySource(files, mtimes))
+            client.close()
+            return cloud.get(naming.manifest_key(0))
+
+        assert manifest_bytes(True) == manifest_bytes(False)
+
+    def test_delta_chain_refs_replay(self, rng):
+        # Cached entries whose refs are delta extents (with nested base
+        # chains) must replay and restore bit-exact.
+        base = rng.integers(0, 256, size=48_000, dtype=np.uint8).tobytes()
+        edited = bytearray(base)
+        edited[1000:1016] = rng.integers(0, 256, 16,
+                                         dtype=np.uint8).tobytes()
+        files = {"a.doc": base, "b.doc": bytes(edited)}
+        mtimes = {"a.doc": 11, "b.doc": 12}
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, small_config(
+            delta_compress=True, pad_containers=False))
+        s1 = client.backup(MemorySource(files, mtimes))
+        assert s1.chunks_delta > 0  # b.doc's changed chunk stored as delta
+        s2 = client.backup(MemorySource(files, mtimes))
+        assert s2.files_unchanged == 2
+        assert s2.ops.read_bytes == 0
+        manifest = client.manifests[1]
+        assert any(r.is_delta for r in manifest.get("b.doc").refs)
+        client.close()
+        restored, report = RestoreClient(cloud).restore_to_memory(1)
+        assert restored == files
+        assert report.deltas_applied > 0
+        scrub = scrub_cloud(cloud)
+        assert scrub.clean, scrub.problems
+
+    def test_persisted_cache_survives_restart(self, dataset):
+        files, mtimes = dataset
+        cloud = InMemoryBackend()
+        first = BackupClient(cloud, small_config())
+        first.backup(MemorySource(files, mtimes))
+        first.close()
+        # A brand-new process: state rebuilt from cloud replicas only.
+        second = BackupClient(cloud, small_config())
+        second.resume_from_cloud()
+        s2 = second.backup(MemorySource(files, mtimes))
+        assert s2.session_id == 1
+        assert s2.files_unchanged == len(files)
+        assert s2.ops.read_bytes == 0
+        restored, _ = RestoreClient(cloud).restore_to_memory(1)
+        assert restored == files
+
+    def test_stat_cache_off_writes_no_blobs(self, dataset):
+        files, mtimes = dataset
+        cloud = InMemoryBackend()
+        client = BackupClient(cloud, small_config(stat_cache=False))
+        client.backup(MemorySource(files, mtimes))
+        s2 = client.backup(MemorySource(files, mtimes))
+        assert s2.files_unchanged == 0
+        assert cloud.list(naming.STATCACHE_PREFIX) == []
+
+    def test_parallel_warm_session_matches_serial(self, dataset):
+        files, mtimes = dataset
+
+        def warm_manifest(workers):
+            cloud = SimulatedCloud(InMemoryBackend(), clock=VirtualClock())
+            client = BackupClient(cloud, small_config(
+                parallel_workers=workers))
+            client.backup(MemorySource(files, mtimes))
+            stats = client.backup(MemorySource(files, mtimes))
+            client.close()
+            return cloud.get(naming.manifest_key(1)), stats
+
+        serial_bytes, _ = warm_manifest(1)
+        parallel_bytes, stats = warm_manifest(3)
+        assert stats.files_unchanged == len(files)
+        assert stats.ops.read_bytes == 0
+        assert parallel_bytes == serial_bytes
+
+
+class TestFileCacheUnit:
+    def entry(self, path="a.txt", size=100, mtime=5, app="txt", **kw):
+        ref = ChunkRef(fingerprint=b"\x11" * 20, length=size,
+                       container_id=3, offset=0)
+        return FileEntry(path=path, size=size, mtime_ns=mtime, app=app,
+                         category="dynamic", refs=[ref], **kw)
+
+    def committed(self, *entries):
+        cache = FileCache("AA-Dedupe")
+        cache.begin_session()
+        for e in entries:
+            cache.record(e)
+        cache.commit()
+        return cache
+
+    def test_match_requires_exact_triple(self):
+        cache = self.committed(self.entry())
+        assert cache.match("txt", "a.txt", 100, 5) is not None
+        assert cache.match("txt", "a.txt", 101, 5) is None
+        assert cache.match("txt", "a.txt", 100, 6) is None
+        assert cache.match("txt", "b.txt", 100, 5) is None
+        assert cache.match("doc", "a.txt", 100, 5) is None
+
+    def test_zero_mtime_never_matches_or_records(self):
+        cache = self.committed(self.entry(mtime=0))
+        assert len(cache) == 0
+        cache2 = self.committed(self.entry(mtime=5))
+        assert cache2.match("txt", "a.txt", 100, 0) is None
+
+    def test_commit_reports_dirty_apps_only(self):
+        cache = self.committed(self.entry())
+        cache.begin_session()
+        cache.record(self.entry())          # identical generation
+        assert cache.commit() == []
+        cache.begin_session()
+        cache.record(self.entry(mtime=9))   # changed
+        assert cache.commit() == ["txt"]
+
+    def test_vanished_app_is_dirty(self):
+        cache = self.committed(self.entry())
+        cache.begin_session()
+        assert cache.commit() == ["txt"]    # blob must be rewritten empty
+        assert len(cache) == 0
+
+    def test_uncommitted_session_never_served(self):
+        cache = FileCache("AA-Dedupe")
+        cache.begin_session()
+        cache.record(self.entry())
+        # Crash before commit: the staged generation must not leak.
+        cache.begin_session()
+        assert cache.commit() == []
+        assert cache.match("txt", "a.txt", 100, 5) is None
+
+    def test_blob_roundtrip(self):
+        cache = self.committed(self.entry(), self.entry(path="b.txt"))
+        blob = cache.blob_for("txt")
+        other = FileCache("AA-Dedupe")
+        assert other.load_blob(blob) == 2
+        assert other.match("txt", "b.txt", 100, 5) is not None
+
+    def test_blob_rejected_on_mismatch(self):
+        cache = self.committed(self.entry())
+        blob = cache.blob_for("txt")
+        assert FileCache("SAM").load_blob(blob) == 0       # scheme
+        stale = FileCache("AA-Dedupe")
+        stale.epoch = 3
+        assert stale.load_blob(blob) == 0                  # epoch
+        with pytest.raises((ValueError, KeyError)):
+            FileCache("AA-Dedupe").load_blob(b"not json")  # corrupt
+
+    def test_epoch_helpers(self):
+        cloud = InMemoryBackend()
+        assert read_epoch(cloud) == 0
+        cloud.put(naming.statcache_key("txt"), b"{}")
+        assert invalidate_statcache(cloud) == 1
+        assert read_epoch(cloud) == 1
+        assert invalidate_statcache(cloud) == 0
+        assert read_epoch(cloud) == 2
+        cloud.put(naming.STATCACHE_EPOCH_KEY, b"garbage")
+        assert read_epoch(cloud) == 0

@@ -220,6 +220,22 @@ class TestWorkloadGenerator:
                     after.files[p] is not before.files[p]:
                 assert after.mtimes[p] != before.mtimes[p]
 
+    def test_mtimes_stable_when_unchanged(self, sessions):
+        # The stat cache keys on (path, size, mtime): unchanged files
+        # must carry the *same* stamp into the next snapshot, and every
+        # stamp must be nonzero (0 is the engine's "unknown" sentinel
+        # which disables replay).
+        for before, after in zip(sessions, sessions[1:]):
+            stable = [p for p in after.files
+                      if p in before.files
+                      and after.files[p] is before.files[p]]
+            assert stable
+            for p in stable:
+                assert after.mtimes[p] == before.mtimes[p]
+        for snap in sessions:
+            assert all(m > 0 for m in snap.mtimes.values())
+            assert set(snap.mtimes) == set(snap.files)
+
     def test_vmdk_mutations_are_aligned(self, sessions):
         # A changed VM image must keep >50% of its 8 KiB-aligned chunks.
         before, after = sessions[0], sessions[1]
