@@ -23,6 +23,7 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.index``     memory/disk/Bloom/app-aware chunk indices
 ``repro.container`` self-describing 1 MB containers
 ``repro.cloud``     backends, WAN model, S3 pricing
+``repro.durability`` criticality-tiered replication, repair, placement
 ``repro.workloads`` Table-1-calibrated synthetic PC workload
 ``repro.trace``     paper-scale trace evaluation (Figs. 7-11)
 ``repro.simulate``  virtual platform (CPU/disk/power models)
@@ -50,6 +51,11 @@ from repro.baselines import (
     jungle_disk_config,
     sam_config,
 )
+from repro.durability import (
+    DurabilityPolicy,
+    repair_cloud,
+    replicate_cloud,
+)
 
 __all__ = [
     "__version__",
@@ -67,4 +73,7 @@ __all__ = [
     "backuppc_config",
     "jungle_disk_config",
     "sam_config",
+    "DurabilityPolicy",
+    "repair_cloud",
+    "replicate_cloud",
 ]

@@ -7,6 +7,9 @@
     python -m repro restore 0 /tmp/out --store /backups/cloud
     python -m repro gc      --store /backups/cloud --keep-last 4
     python -m repro scrub   --store /backups/cloud
+    python -m repro backup  ~/Documents --store /backups/cloud \
+        --replication 2 --fault-domains d0,d1,d2
+    python -m repro repair  --store /backups/cloud
     python -m repro schemes
     python -m repro fleet   --clients 8 --sessions 3
     python -m repro backup  ~/Documents --store /backups/cloud \
@@ -83,6 +86,24 @@ def cmd_backup(args) -> int:
     stats = client.backup(DirectorySource(args.source))
     client.close()
     print(stats.summary())
+    if args.replication:
+        from repro.durability import (DurabilityPolicy, default_domains,
+                                      replicate_cloud)
+        domains = (tuple(d for d in args.fault_domains.split(",") if d)
+                   if args.fault_domains else default_domains())
+        policy = DurabilityPolicy(
+            base_replicas=args.replication,
+            max_replicas=max(args.replication + 1, 3))
+        rep = replicate_cloud(LocalDirectoryBackend(args.store),
+                              policy=policy, domains=domains,
+                              tracer=tracer)
+        print(f"replication: {rep.containers_replicated} of "
+              f"{rep.containers_considered} containers tiered up, "
+              f"{rep.replicas_written} replicas written "
+              f"({format_bytes(rep.replica_bytes)}) across "
+              f"{len(domains)} fault domains")
+        for problem in rep.problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
     if not args.quiet:
         print(f"  saved {format_bytes(stats.bytes_saved)} "
               f"({stats.files_tiny} tiny files filtered, "
@@ -183,19 +204,43 @@ def cmd_gc(args) -> int:
 
 
 def cmd_scrub(args) -> int:
-    """Verify container CRCs, extent fingerprints and manifest refs."""
+    """Verify container CRCs, extent fingerprints, manifest refs and
+    durability replicas."""
     cloud = LocalDirectoryBackend(args.store)
     report = scrub_cloud(cloud, verify_extents=not args.fast)
     print(f"checked {report.containers_checked} containers "
           f"({report.extents_verified} extents verified), "
+          f"{report.replicas_checked} replicas, "
           f"{report.manifests_checked} manifests "
           f"({report.refs_resolved} refs resolved), "
           f"{report.index_replicas_checked} index replicas")
+    print(report.summary_line())
     if report.clean:
         print("store is clean")
         return 0
-    for problem in report.problems:
-        print(f"PROBLEM: {problem}", file=sys.stderr)
+    for finding in report.findings:
+        tag = "DEGRADED" if finding.repairable else "PROBLEM"
+        print(f"{tag}: {finding.message}", file=sys.stderr)
+    if any(f.repairable for f in report.findings):
+        print("repairable findings: run `repro repair` to restore "
+              "full replication", file=sys.stderr)
+    return 1
+
+
+def cmd_repair(args) -> int:
+    """Rebuild missing/corrupt container copies from survivors."""
+    from repro.durability import repair_cloud
+
+    cloud = LocalDirectoryBackend(args.store)
+    report = repair_cloud(cloud)
+    print(f"checked {report.containers_checked} replicated containers: "
+          f"{report.primaries_restored} primaries promoted, "
+          f"{report.replicas_restored} replicas rebuilt "
+          f"({format_bytes(report.bytes_copied)} copied)")
+    if report.ok:
+        return 0
+    for message in report.unrepairable:
+        print(f"UNREPAIRABLE: {message}", file=sys.stderr)
     return 1
 
 
@@ -318,6 +363,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "a Chrome-compatible JSONL trace")
     p.add_argument("--trace-out", default=None,
                    help="trace output path (default backup.trace.jsonl)")
+    p.add_argument("--replication", type=int, default=0, metavar="N",
+                   help="after the session, replicate every live "
+                        "container to at least N copies across fault "
+                        "domains (criticality may add more)")
+    p.add_argument("--fault-domains", default=None, metavar="D0,D1,...",
+                   help="comma-separated fault domain names for "
+                        "--replication (default d0,d1,d2)")
     p.set_defaults(func=cmd_backup)
 
     p = sub.add_parser("restore", help=cmd_restore.__doc__)
@@ -347,6 +399,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast", action="store_true",
                    help="CRC/structure checks only (skip re-hashing)")
     p.set_defaults(func=cmd_scrub)
+
+    p = sub.add_parser("repair", help=cmd_repair.__doc__)
+    store_arg(p)
+    p.set_defaults(func=cmd_repair)
 
     p = sub.add_parser("estimate", help=cmd_estimate.__doc__)
     p.add_argument("source", help="directory to analyse")

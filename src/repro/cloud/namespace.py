@@ -32,7 +32,9 @@ class NamespacedBackend(CloudBackend):
     """A tenant's view of a shared backend (private keys prefixed).
 
     By default the container and chunk pools are shared (cross-client
-    dedup addresses them fleet-wide); pass ``shared_prefixes=()`` for
+    dedup addresses them fleet-wide), as are the durability replicas
+    and replication plan (any tenant's restore may need to fail over to
+    a replica of a shared container); pass ``shared_prefixes=()`` for
     full isolation.
     """
 
@@ -47,7 +49,9 @@ class NamespacedBackend(CloudBackend):
             # a module-level import would cycle through repro.cloud.
             from repro.core import naming
             shared_prefixes = (naming.CONTAINER_PREFIX,
-                               naming.CHUNK_PREFIX)
+                               naming.CHUNK_PREFIX,
+                               naming.REPLICA_PREFIX,
+                               naming.DURABILITY_PREFIX)
         self.inner = inner
         self.namespace = namespace
         self.prefix = f"clients/{namespace}/"

@@ -9,10 +9,22 @@ reliance on client-side refcounts, so it is crash-safe), then:
 * deletes containers, chunk objects and file objects referenced by no
   retained manifest;
 * deletes manifests of dropped sessions;
+* sweeps durability replicas *with* their containers: a replica dies
+  exactly when its container leaves the live set, never before — so a
+  replica is never orphaned by GC, and the last surviving copy of a
+  still-referenced container is never collected (liveness, not copy
+  count, decides).  Plan entries of collected containers are pruned
+  from the persisted :class:`~repro.durability.policy.ReplicationPlan`;
 * reports per-container utilisation so operators can see fragmentation
   (rewriting live tails of cold containers is reported, not performed —
   it would require manifest rewrites, which the paper does not do
   either).
+
+Retention (which sessions to drop) is decided from the *root*
+manifests only, but liveness is fleet-wide: manifests in tenant
+namespaces (``clients/<ns>/manifests/``) mark their containers and
+shared chunk objects live, so a GC run against a shared fleet backend
+can never collect data a tenant still references.
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ from typing import Dict, Iterable, List, Set
 from repro.core import naming
 from repro.core.filecache import invalidate_statcache
 from repro.core.recipe import Manifest
+from repro.durability.policy import ReplicationPlan
 from repro.errors import ReproError
 
 __all__ = ["GCReport", "collect_garbage"]
@@ -36,6 +49,12 @@ class GCReport:
     deleted_manifests: int = 0
     deleted_containers: int = 0
     deleted_objects: int = 0
+    #: Replica copies swept alongside their dead containers.
+    deleted_replicas: int = 0
+    #: Replication-plan entries dropped with their containers.
+    plan_pruned: int = 0
+    #: Tenant-namespace manifests that contributed liveness marks.
+    tenant_manifests_marked: int = 0
     live_containers: int = 0
     #: container_id -> live bytes referenced by retained manifests
     #: (fragmentation visibility; padding/framing excluded).  Delta
@@ -97,6 +116,29 @@ def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
         report.problems.append(
             f"retained session {session_id} has no manifest")
 
+    # --- mark: fleet-wide liveness from tenant namespaces ---------------
+    # Retention applies to root sessions only, but on a shared fleet
+    # backend every tenant manifest pins its containers and shared
+    # chunks live — an unreadable one makes the live sets
+    # untrustworthy, so it blocks the sweep like a root manifest would.
+    for key in cloud.list(naming.TENANT_PREFIX):
+        if f"/{naming.MANIFEST_PREFIX}" not in key:
+            continue
+        try:
+            manifest = Manifest.from_json(cloud.get(key))
+        except (ReproError, ValueError, KeyError) as exc:
+            report.problems.append(
+                f"tenant manifest {key} unreadable: {exc}")
+            continue
+        report.tenant_manifests_marked += 1
+        tenant = key.split(f"/{naming.MANIFEST_PREFIX}", 1)[0] + "/"
+        live_containers |= manifest.referenced_containers()
+        for obj_key in manifest.referenced_objects():
+            if obj_key.startswith(naming.CHUNK_PREFIX):
+                live_objects.add(obj_key)       # shared chunk pool
+            else:
+                live_objects.add(tenant + obj_key)
+
     # An incomplete mark phase means the live sets are untrustworthy;
     # sweeping on them could delete live data.  Refuse instead.
     if report.problems:
@@ -116,6 +158,22 @@ def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
             cloud.delete(key)
             report.deleted_containers += 1
     report.live_containers = len(live_containers)
+
+    # --- sweep: durability replicas with their containers ---------------
+    # A replica's lifetime is its container's: live container -> every
+    # copy is kept (even when it is the last survivor of a lost
+    # primary); dead container -> all copies go with it.  Keys that do
+    # not parse as replica keys are left for scrub to flag.
+    for key in cloud.list(naming.REPLICA_PREFIX):
+        parsed = naming.parse_replica_key(key)
+        if parsed is not None and parsed[1] not in live_containers:
+            cloud.delete(key)
+            report.deleted_replicas += 1
+    plan = ReplicationPlan.load(cloud)
+    if plan is not None:
+        report.plan_pruned = plan.prune(live_containers)
+        if report.plan_pruned:
+            plan.save(cloud)
 
     # --- sweep: standalone chunk/file/delta objects ---------------------
     for prefix in (naming.CHUNK_PREFIX, naming.FILE_PREFIX,

@@ -6,9 +6,12 @@ import hashlib
 
 __all__ = ["container_key", "chunk_key", "file_key", "manifest_key",
            "index_key", "journal_key", "delta_key", "statcache_key",
+           "replica_key", "parse_replica_key", "namespaced_keys",
            "MANIFEST_PREFIX", "CONTAINER_PREFIX", "CHUNK_PREFIX",
            "FILE_PREFIX", "INDEX_PREFIX", "JOURNAL_PREFIX",
-           "DELTA_PREFIX", "STATCACHE_PREFIX", "STATCACHE_EPOCH_KEY"]
+           "DELTA_PREFIX", "STATCACHE_PREFIX", "STATCACHE_EPOCH_KEY",
+           "REPLICA_PREFIX", "DURABILITY_PREFIX", "DURABILITY_PLAN_KEY",
+           "TENANT_PREFIX"]
 
 CONTAINER_PREFIX = "containers/"
 CHUNK_PREFIX = "chunks/"
@@ -21,6 +24,15 @@ STATCACHE_PREFIX = "statcache/"
 #: Monotonic GC generation stamp; every sweep that deletes data bumps
 #: it, invalidating any persisted (or resident) stat-cache state.
 STATCACHE_EPOCH_KEY = "statcache/EPOCH"
+#: Container replicas, segregated by fault domain (see
+#: :mod:`repro.durability`): ``replicas/<domain>/containers/<id>``.
+REPLICA_PREFIX = "replicas/"
+#: Durability metadata (the persisted replication plan).
+DURABILITY_PREFIX = "durability/"
+DURABILITY_PLAN_KEY = "durability/plan.json"
+#: Root of per-tenant namespaces (see
+#: :class:`repro.cloud.NamespacedBackend`).
+TENANT_PREFIX = "clients/"
 
 
 def container_key(container_id: int) -> str:
@@ -70,3 +82,44 @@ def statcache_key(app: str) -> str:
     """Key of one application's persisted stat-cache blob."""
     safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in app)
     return f"{STATCACHE_PREFIX}{safe}.fc"
+
+
+def replica_key(domain: str, container_id: int) -> str:
+    """Key of a container replica inside fault domain ``domain``."""
+    return f"{REPLICA_PREFIX}{domain}/{container_key(container_id)}"
+
+
+def parse_replica_key(key: str):
+    """``(domain, container_id)`` of a replica key, or ``None``.
+
+    Inverse of :func:`replica_key`; malformed keys (wrong prefix, bad
+    id) return ``None`` instead of raising, so sweeps can skip them.
+    """
+    if not key.startswith(REPLICA_PREFIX):
+        return None
+    rest = key[len(REPLICA_PREFIX):]
+    domain, sep, container = rest.partition("/")
+    if not sep or not domain or not container.startswith(CONTAINER_PREFIX):
+        return None
+    try:
+        return domain, int(container[len(CONTAINER_PREFIX):])
+    except ValueError:
+        return None
+
+
+def namespaced_keys(cloud, prefix: str) -> list:
+    """All keys under ``prefix``, in the root *and* every tenant
+    namespace of a shared backend.
+
+    A fleet backend holds each client's private state under
+    ``clients/<ns>/<prefix>...`` (see
+    :class:`repro.cloud.NamespacedBackend`); fleet-wide walks (scrub,
+    GC liveness, durability criticality) must see those keys too.  On a
+    single-tenant store the extra list returns nothing.
+    """
+    keys = list(cloud.list(prefix))
+    for key in cloud.list(TENANT_PREFIX):
+        parts = key.split("/", 2)
+        if len(parts) == 3 and parts[2].startswith(prefix):
+            keys.append(key)
+    return keys

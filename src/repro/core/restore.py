@@ -12,6 +12,16 @@ length identifies the hash (see
 side channel.  Delta extents (see :mod:`repro.delta`) are decoded by
 recursively materialising their base chain, whose depth is capped by
 ``max_delta_depth``.
+
+Verification failures are not immediately fatal: a transport-level bit
+flip (modelled by ``ChaosBackend.corrupt_rate``) and at-rest corruption
+look identical on first read, so the client **retries the fetch once**
+— a container whose CRC fails is re-fetched; a standalone object whose
+content misses its fingerprint is re-fetched; a delta blob that fails
+to apply is re-fetched.  Only a second failure is treated as real.  A
+container whose primary is missing or corrupt after the retry **fails
+over** to the replica copies recorded in the durability plan
+(:mod:`repro.durability`) instead of aborting the restore.
 """
 
 from __future__ import annotations
@@ -20,13 +30,14 @@ import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.container.format import ContainerFormatError, ContainerReader
 from repro.core import naming
 from repro.core.recipe import ChunkRef, Manifest
 from repro.delta import DeltaError, apply_delta
-from repro.errors import IntegrityError, RestoreError
+from repro.errors import (CloudError, IntegrityError, PermanentCloudError,
+                          RestoreError)
 from repro.hashing import hash_for_digest_len
 from repro.obs.tracer import NOOP_TRACER
 
@@ -45,6 +56,12 @@ class RestoreReport:
     chunks_verified: int = 0
     #: Delta extents decoded against their base chain.
     deltas_applied: int = 0
+    #: Fetches repeated after a verification failure (cumulative over
+    #: the client's lifetime, like ``containers_fetched``).
+    fetch_retries: int = 0
+    #: Containers served from a replica copy after the primary was
+    #: missing or corrupt (cumulative).
+    failovers: int = 0
     #: paths that failed verification (empty on success).
     corrupt: list = field(default_factory=list)
 
@@ -69,6 +86,12 @@ class RestoreClient:
         self._cache_size = max(1, container_cache_size)
         self._containers: "OrderedDict[int, ContainerReader]" = OrderedDict()
         self._fetched = 0
+        self._retries = 0
+        self._failovers = 0
+        #: Durability plan, loaded lazily on the first primary failure
+        #: (the healthy path never pays for it).
+        self._plan_loaded = False
+        self._plan = None
         #: Reconstructed delta targets by extent location — duplicate
         #: refs to a delta chunk decode its chain once, not per file.
         self._delta_memo: "OrderedDict[tuple, bytes]" = OrderedDict()
@@ -79,6 +102,16 @@ class RestoreClient:
         blob = self.cloud.get(naming.manifest_key(session_id))
         return Manifest.from_json(blob)
 
+    def _replica_candidates(self, container_id: int) -> List[str]:
+        """Planned replica keys to fail over to (empty without a plan)."""
+        if not self._plan_loaded:
+            self._plan_loaded = True
+            from repro.durability.policy import ReplicationPlan
+            self._plan = ReplicationPlan.load(self.cloud)
+        if self._plan is None:
+            return []
+        return self._plan.replica_keys(container_id)
+
     def _container(self, container_id: int) -> ContainerReader:
         reader = self._containers.get(container_id)
         if reader is not None:
@@ -86,18 +119,44 @@ class RestoreClient:
             return reader
         with self.tracer.span("restore.container_fetch",
                               container=container_id):
-            blob = self.cloud.get(naming.container_key(container_id))
-        try:
-            reader = ContainerReader(blob)
-        except ContainerFormatError as exc:
-            raise IntegrityError(
-                f"container {container_id} failed validation: {exc}"
-            ) from exc
+            reader = self._fetch_container(container_id)
         self._fetched += 1
         self._containers[container_id] = reader
         while len(self._containers) > self._cache_size:
             self._containers.popitem(last=False)
         return reader
+
+    def _fetch_container(self, container_id: int) -> ContainerReader:
+        """Primary, retried once on corruption, then replica failover."""
+        key = naming.container_key(container_id)
+        failure: Exception
+        try:
+            return ContainerReader(self.cloud.get(key))
+        except (ContainerFormatError, PermanentCloudError) as exc:
+            failure = exc
+        if isinstance(failure, ContainerFormatError):
+            self._retries += 1
+            try:
+                return ContainerReader(self.cloud.get(key))
+            except (ContainerFormatError, PermanentCloudError) as exc:
+                failure = exc
+        for replica in self._replica_candidates(container_id):
+            try:
+                reader = ContainerReader(self.cloud.get(replica))
+            except (ContainerFormatError, CloudError):
+                continue
+            if reader.container_id != container_id:
+                continue
+            self._failovers += 1
+            if self.tracer.enabled:
+                self.tracer.metrics.counter(
+                    "restore_failover_total").inc()
+            return reader
+        if isinstance(failure, ContainerFormatError):
+            raise IntegrityError(
+                f"container {container_id} failed validation: {failure}"
+            ) from failure
+        raise failure
 
     def _read_extent(self, ref: ChunkRef, length: int,
                      report: RestoreReport) -> bytes:
@@ -137,6 +196,25 @@ class RestoreClient:
         blob = self._read_extent(ref, ref.stored_length, report)
         base = self._fetch_ref(ref.delta_base, report, depth=depth + 1)
         try:
+            data = self._apply_delta(base, blob, ref)
+        except IntegrityError:
+            if ref.in_container:
+                # Container extents are CRC-covered at fetch time, so
+                # the blob is what was stored — a decode failure is
+                # real corruption, not transport noise.
+                raise
+            self._retries += 1
+            blob = self._read_extent(ref, ref.stored_length, report)
+            data = self._apply_delta(base, blob, ref)
+        report.deltas_applied += 1
+        self._delta_memo[memo_key] = data
+        while len(self._delta_memo) > 128:
+            self._delta_memo.popitem(last=False)
+        return data
+
+    def _apply_delta(self, base: bytes, blob: bytes,
+                     ref: ChunkRef) -> bytes:
+        try:
             data = apply_delta(base, blob)
         except DeltaError as exc:
             raise IntegrityError(f"delta decode failed: {exc}") from exc
@@ -144,10 +222,6 @@ class RestoreClient:
             raise IntegrityError(
                 f"delta target length mismatch "
                 f"({len(data)} != {ref.length})")
-        report.deltas_applied += 1
-        self._delta_memo[memo_key] = data
-        while len(self._delta_memo) > 128:
-            self._delta_memo.popitem(last=False)
         return data
 
     def _fetch_ref(self, ref: ChunkRef, report: RestoreReport,
@@ -162,7 +236,16 @@ class RestoreClient:
         else:
             data = self._read_extent(ref, ref.length, report)
         if self.verify:
-            self._verify_payload(data, ref, report)
+            try:
+                self._verify_payload(data, ref, report)
+            except IntegrityError:
+                if ref.is_delta or ref.in_container:
+                    # Decoded deltas and CRC-covered container extents
+                    # cannot be transport flips — the mismatch is real.
+                    raise
+                self._retries += 1
+                data = self._read_extent(ref, ref.length, report)
+                self._verify_payload(data, ref, report)
         if ref.wrapped_key is not None:
             # Convergently encrypted extent: recover and apply its key.
             if self.master_key is None:
@@ -202,6 +285,8 @@ class RestoreClient:
                 missing = sorted(wanted - set(out))
                 raise RestoreError(f"paths not in session: {missing}")
             report.containers_fetched = self._fetched
+            report.fetch_retries = self._retries
+            report.failovers = self._failovers
             return out, report
 
     def restore_to_directory(self, session_id: int,

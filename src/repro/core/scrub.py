@@ -8,6 +8,10 @@ good?" cheaply.  The scrubber walks the store and validates:
   hash — :func:`repro.hashing.hash_for_digest_len` — as on restore);
   extents flagged ``FLAG_DELTA`` must additionally be structurally valid
   delta blobs;
+* every **replica** of the persisted durability plan (see
+  :mod:`repro.durability`) exists, parses and holds the right container;
+  a planned container with fewer good copies than its target is
+  *under-replicated*, and a replica without a plan entry is *orphaned*;
 * every **manifest** parses, references only extents that exist
   (container descriptors or standalone objects), keeps its delta chains
   within depth bounds with no dangling base, and — for standalone
@@ -16,23 +20,52 @@ good?" cheaply.  The scrubber walks the store and validates:
   blob, not the chunk plaintext);
 * every **index replica** parses into valid entries.
 
+Tenant namespaces of a shared fleet backend are walked too
+(:func:`repro.core.naming.namespaced_keys`), so one scrub of the shared
+store covers every client's manifests.
+
+Everything found is recorded twice: machine-actionable
+:class:`ScrubFinding` records (what the repair loop and the CLI exit
+code key off), and — for integrity violations — human-readable
+``problems`` strings.  *Repairable* findings (a lost primary whose
+replica survives, a missing replica, under-replication) mean the data
+is intact but durability is degraded; refs into a primary-less
+container are resolved against a surviving replica rather than reported
+as missing, because restore fails over the same way.
+
 Returns a :class:`ScrubReport`; nothing is modified.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.container.format import FLAG_DELTA, ContainerReader
 from repro.core import naming
 from repro.core.recipe import ChunkRef, Manifest
 from repro.delta import delta_target_length, validate_delta
+from repro.durability.policy import ReplicationPlan
 from repro.errors import ContainerFormatError, DeltaError, ReproError
 from repro.hashing import hash_for_digest_len
 from repro.index.base import IndexEntry
 
-__all__ = ["ScrubReport", "scrub_cloud"]
+__all__ = ["ScrubFinding", "ScrubReport", "scrub_cloud"]
+
+
+@dataclass(frozen=True)
+class ScrubFinding:
+    """One actionable scrub observation.
+
+    ``repairable`` distinguishes durability degradations (a surviving
+    copy exists; ``repro repair`` can rebuild) from integrity problems
+    (data corrupt or unrecoverable).
+    """
+
+    kind: str
+    message: str
+    repairable: bool = False
 
 
 @dataclass
@@ -47,19 +80,67 @@ class ScrubReport:
     objects_verified: int = 0
     #: Delta blobs (container extents or objects) structurally validated.
     deltas_validated: int = 0
+    #: Replica copies that parsed and matched their container id.
+    replicas_checked: int = 0
     index_replicas_checked: int = 0
-    #: Human-readable problem descriptions; empty means a clean store.
+    #: Human-readable integrity problems; a subset of ``findings``.
     problems: List[str] = field(default_factory=list)
+    #: Every observation, problems and repairable degradations alike.
+    findings: List[ScrubFinding] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        """True when no problem was found."""
-        return not self.problems
+        """True when nothing at all was found."""
+        return not self.findings
+
+    def problem(self, kind: str, message: str) -> None:
+        """Record an integrity problem (data corrupt/unrecoverable)."""
+        self.problems.append(message)
+        self.findings.append(ScrubFinding(kind, message))
+
+    def degraded(self, kind: str, message: str) -> None:
+        """Record a repairable durability degradation."""
+        self.findings.append(ScrubFinding(kind, message, repairable=True))
+
+    def summary_line(self) -> str:
+        """One-line findings summary (the CLI prints this)."""
+        if not self.findings:
+            return "0 findings"
+        kinds = Counter(f.kind for f in self.findings)
+        detail = ", ".join(f"{n} {kind}"
+                           for kind, n in sorted(kinds.items()))
+        repairable = sum(f.repairable for f in self.findings)
+        return (f"{len(self.findings)} findings "
+                f"({len(self.problems)} problems, "
+                f"{repairable} repairable): {detail}")
+
+
+def _tenant_prefix(manifest_key: str) -> str:
+    """``clients/<ns>/`` when the manifest lives in a tenant namespace."""
+    if manifest_key.startswith(naming.TENANT_PREFIX):
+        parts = manifest_key.split("/", 2)
+        if len(parts) == 3:
+            return f"{parts[0]}/{parts[1]}/"
+    return ""
+
+
+def _map_object_key(prefix: str, key: str) -> str:
+    """Raw backend key of a recipe's object ref.
+
+    A tenant's recipes store unprefixed keys; on the shared backend the
+    private ones (files, private deltas) live under the tenant prefix
+    while the chunk pool is shared verbatim — the same mapping
+    :class:`~repro.cloud.NamespacedBackend` applies.
+    """
+    if not prefix or key.startswith(naming.CHUNK_PREFIX):
+        return key
+    return prefix + key
 
 
 def scrub_cloud(cloud, verify_extents: bool = True,
                 max_delta_depth: int = 8) -> ScrubReport:
-    """Validate all containers, manifests and index replicas in ``cloud``."""
+    """Validate all containers, replicas, manifests and index replicas
+    in ``cloud``."""
     report = ScrubReport()
 
     # --- containers ------------------------------------------------------
@@ -72,7 +153,7 @@ def scrub_cloud(cloud, verify_extents: bool = True,
         try:
             reader = ContainerReader(cloud.get(key))
         except (ContainerFormatError, ReproError) as exc:
-            report.problems.append(f"{key}: {exc}")
+            report.problem("corrupt_primary", f"{key}: {exc}")
             continue
         report.containers_checked += 1
         containers_present.add(reader.container_id)
@@ -85,7 +166,8 @@ def scrub_cloud(cloud, verify_extents: bool = True,
             hasher = hash_for_digest_len(len(desc.fingerprint))
             if hasher is not None:
                 if hasher.hash(data) != desc.fingerprint:
-                    report.problems.append(
+                    report.problem(
+                        "corrupt_extent",
                         f"{key}: extent fingerprint mismatch at "
                         f"offset {desc.offset}")
                     continue
@@ -94,20 +176,24 @@ def scrub_cloud(cloud, verify_extents: bool = True,
                 try:
                     validate_delta(data)
                 except DeltaError as exc:
-                    report.problems.append(
+                    report.problem(
+                        "corrupt_extent",
                         f"{key}: invalid delta blob at offset "
                         f"{desc.offset}: {exc}")
                     continue
                 report.deltas_validated += 1
 
-    object_keys = set(cloud.list(naming.CHUNK_PREFIX)) \
-        | set(cloud.list(naming.FILE_PREFIX)) \
-        | set(cloud.list(naming.DELTA_PREFIX))
+    # --- durability: replicas against the persisted plan -----------------
+    _scrub_replicas(cloud, report, extent_map, containers_present)
+
+    object_keys = set(naming.namespaced_keys(cloud, naming.CHUNK_PREFIX)) \
+        | set(naming.namespaced_keys(cloud, naming.FILE_PREFIX)) \
+        | set(naming.namespaced_keys(cloud, naming.DELTA_PREFIX))
 
     # --- manifests ---------------------------------------------------------
     verified_objects: Dict[str, bool] = {}
 
-    def check_object(ref: ChunkRef, where: str) -> None:
+    def check_object(ref: ChunkRef, raw_key: str, where: str) -> None:
         """Verify a standalone object's *content*, once per key.
 
         Existence alone is not integrity: a truncated or corrupted
@@ -117,13 +203,14 @@ def scrub_cloud(cloud, verify_extents: bool = True,
         """
         if not verify_extents:
             return
-        cached = verified_objects.get(ref.object_key)
+        cached = verified_objects.get(raw_key)
         if cached is not None:
             if not cached:
-                report.problems.append(
+                report.problem(
+                    "corrupt_object",
                     f"{where} references corrupt object {ref.object_key}")
             return
-        data = cloud.get(ref.object_key)
+        data = cloud.get(raw_key)
         ok = True
         if ref.is_delta:
             try:
@@ -136,7 +223,8 @@ def scrub_cloud(cloud, verify_extents: bool = True,
                 validate_delta(data)
             except DeltaError as exc:
                 ok = False
-                report.problems.append(
+                report.problem(
+                    "corrupt_object",
                     f"{where}: delta object {ref.object_key}: {exc}")
             else:
                 report.deltas_validated += 1
@@ -144,83 +232,158 @@ def scrub_cloud(cloud, verify_extents: bool = True,
             hasher = hash_for_digest_len(len(ref.fingerprint))
             if hasher is not None and hasher.hash(data) != ref.fingerprint:
                 ok = False
-                report.problems.append(
+                report.problem(
+                    "corrupt_object",
                     f"{where}: object {ref.object_key} content does not "
                     f"match its fingerprint")
             else:
                 report.objects_verified += 1
-        verified_objects[ref.object_key] = ok
+        verified_objects[raw_key] = ok
 
-    def check_ref(ref: ChunkRef, where: str,
+    def check_ref(ref: ChunkRef, prefix: str, where: str,
                   role: str = "extent") -> None:
         if ref.in_container:
             if ref.container_id not in containers_present:
-                report.problems.append(
+                report.problem(
+                    "missing_primary",
                     f"{where} references missing container "
                     f"{ref.container_id} ({role})")
                 return
             found = extent_map.get((ref.container_id, ref.offset))
             if found is None:
-                report.problems.append(
+                report.problem(
+                    "dangling_ref",
                     f"{where}: no extent at container "
                     f"{ref.container_id} offset {ref.offset} ({role})")
                 return
             length, flags = found
             if length != ref.cloud_length:
-                report.problems.append(
+                report.problem(
+                    "dangling_ref",
                     f"{where}: extent length mismatch at container "
                     f"{ref.container_id} offset {ref.offset} "
                     f"({length} != {ref.cloud_length}, {role})")
                 return
             if ref.is_delta and not flags & FLAG_DELTA:
-                report.problems.append(
+                report.problem(
+                    "dangling_ref",
                     f"{where}: delta ref resolves to a non-delta extent "
                     f"at container {ref.container_id} offset "
                     f"{ref.offset}")
                 return
         else:
-            if ref.object_key not in object_keys:
-                report.problems.append(
+            raw_key = _map_object_key(prefix, ref.object_key)
+            if raw_key not in object_keys:
+                report.problem(
+                    "missing_object",
                     f"{where} references missing object "
                     f"{ref.object_key} ({role})")
                 return
-            check_object(ref, where)
+            check_object(ref, raw_key, where)
         report.refs_resolved += 1
 
-    for key in cloud.list(naming.MANIFEST_PREFIX):
+    for key in naming.namespaced_keys(cloud, naming.MANIFEST_PREFIX):
         try:
             manifest = Manifest.from_json(cloud.get(key))
         except (ReproError, ValueError) as exc:
-            report.problems.append(f"{key}: {exc}")
+            report.problem("corrupt_manifest", f"{key}: {exc}")
             continue
         report.manifests_checked += 1
+        prefix = _tenant_prefix(key)
         for entry in manifest:
             for ref in entry.refs:
                 if ref.chain_depth() > max_delta_depth:
-                    report.problems.append(
+                    report.problem(
+                        "delta_chain",
                         f"{key}: {entry.path} delta chain deeper than "
                         f"{max_delta_depth}")
                     continue
-                check_ref(ref, f"{key}: {entry.path}")
+                check_ref(ref, prefix, f"{key}: {entry.path}")
                 base: Optional[ChunkRef] = ref.delta_base
                 while base is not None:
-                    check_ref(base, f"{key}: {entry.path}",
+                    check_ref(base, prefix, f"{key}: {entry.path}",
                               role="delta base")
                     base = base.delta_base
 
     # --- index replicas ---------------------------------------------------
     record = IndexEntry.RECORD_SIZE
-    for key in cloud.list(naming.INDEX_PREFIX):
+    for key in naming.namespaced_keys(cloud, naming.INDEX_PREFIX):
         blob = cloud.get(key)
         if len(blob) % record:
-            report.problems.append(f"{key}: truncated index replica")
+            report.problem("corrupt_index",
+                           f"{key}: truncated index replica")
             continue
         try:
             for pos in range(0, len(blob), record):
                 IndexEntry.unpack(blob[pos:pos + record])
         except ReproError as exc:
-            report.problems.append(f"{key}: {exc}")
+            report.problem("corrupt_index", f"{key}: {exc}")
             continue
         report.index_replicas_checked += 1
 
     return report
+
+
+def _scrub_replicas(cloud, report: ScrubReport,
+                    extent_map: Dict[Tuple[int, int], Tuple[int, int]],
+                    containers_present: Set[int]) -> None:
+    """Check every planned replica; recover refs through survivors.
+
+    When a planned container's primary is missing (or failed to parse),
+    a good replica both proves the data still exists — its extents are
+    registered so the manifest pass resolves refs instead of reporting
+    loss — and downgrades the failure to a repairable
+    ``missing_primary`` finding.
+    """
+    present = set(cloud.list(naming.REPLICA_PREFIX))
+    plan = ReplicationPlan.load(cloud)
+    planned_keys: Set[str] = set()
+    if plan is not None:
+        for container_id in sorted(plan.targets):
+            expected = plan.replica_keys(container_id)
+            planned_keys.update(expected)
+            primary_ok = container_id in containers_present
+            good_copies = 1 if primary_ok else 0
+            recovered = False
+            for key in expected:
+                if key not in present:
+                    report.degraded(
+                        "missing_replica",
+                        f"{key}: replica missing "
+                        f"(container {container_id})")
+                    continue
+                try:
+                    reader = ContainerReader(cloud.get(key))
+                    if reader.container_id != container_id:
+                        raise ContainerFormatError(
+                            f"replica holds container "
+                            f"{reader.container_id}")
+                except (ContainerFormatError, ReproError) as exc:
+                    report.degraded("corrupt_replica", f"{key}: {exc}")
+                    continue
+                report.replicas_checked += 1
+                good_copies += 1
+                if not primary_ok and not recovered:
+                    recovered = True
+                    containers_present.add(container_id)
+                    for desc in reader.descriptors:
+                        extent_map[(container_id, desc.offset)] = (
+                            desc.length, desc.flags)
+                    report.degraded(
+                        "missing_primary",
+                        f"{naming.container_key(container_id)}: primary "
+                        f"lost; replica {key} survives")
+            if good_copies == 0:
+                report.problem(
+                    "container_lost",
+                    f"container {container_id}: no surviving copy in "
+                    f"any fault domain")
+            elif good_copies < plan.target(container_id):
+                report.degraded(
+                    "under_replicated",
+                    f"container {container_id}: {good_copies} of "
+                    f"{plan.target(container_id)} planned copies "
+                    f"present")
+    for key in sorted(present - planned_keys):
+        report.degraded("orphan_replica",
+                        f"{key}: replica has no plan entry")

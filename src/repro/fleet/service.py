@@ -380,6 +380,21 @@ class FleetService:
         return self.report()
 
     # ------------------------------------------------------------------
+    def replicate(self, policy=None, domains=None):
+        """Run a durability replication pass over the shared backend.
+
+        Criticality is fleet-wide (every client's manifests count, so a
+        shared container referenced by many clients tiers up) and the
+        replicas land in the shared pool every tenant view can fail
+        over to.  Returns the
+        :class:`~repro.durability.replicate.ReplicationReport`.
+        """
+        from repro.durability import replicate_cloud
+        with self._backend_lock:
+            return replicate_cloud(self.backend, policy=policy,
+                                   domains=domains, tracer=self.tracer)
+
+    # ------------------------------------------------------------------
     def report(self) -> FleetReport:
         results = [
             FleetClientResult(

@@ -40,6 +40,7 @@ _STAGE_GROUPS = (
     ("cloud.", "transfer"),
     ("retry", "transfer"),
     ("container", "container"),
+    ("durability", "durability"),
 )
 
 

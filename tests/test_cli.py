@@ -198,3 +198,73 @@ class TestDeltaFlag:
         run("backup", source_tree, "--store", store, "--no-stat-cache")
         run("backup", source_tree, "--store", store, "--no-stat-cache")
         assert "stat cache:" not in capsys.readouterr().out
+
+
+class TestDurabilityCommands:
+    def replicated_store(self, source_tree, tmp_path):
+        store = tmp_path / "cloud"
+        assert run("backup", source_tree, "--store", store,
+                   "--replication", "2",
+                   "--fault-domains", "d0,d1,d2") == 0
+        return store
+
+    def test_backup_with_replication_writes_replicas(
+            self, source_tree, tmp_path, capsys):
+        store = self.replicated_store(source_tree, tmp_path)
+        out = capsys.readouterr().out
+        assert "replicas written" in out
+        assert (store / "durability" / "plan.json").exists()
+        replicas = list((store / "replicas").rglob("*"))
+        assert any(p.is_file() for p in replicas)
+        assert run("scrub", "--store", store) == 0
+
+    def test_scrub_exits_nonzero_on_degraded_findings(
+            self, source_tree, tmp_path, capsys):
+        store = self.replicated_store(source_tree, tmp_path)
+        victim = next(p for p in (store / "replicas").rglob("*")
+                      if p.is_file())
+        victim.unlink()
+        capsys.readouterr()
+        assert run("scrub", "--store", store) == 1
+        captured = capsys.readouterr()
+        # One-line findings summary on stdout, detail on stderr.
+        assert "findings" in captured.out
+        assert "repairable" in captured.out
+        assert "DEGRADED" in captured.err
+        assert "PROBLEM" not in captured.err
+        assert "repro repair" in captured.err
+
+    def test_repair_restores_replication(self, source_tree, tmp_path,
+                                         capsys):
+        store = self.replicated_store(source_tree, tmp_path)
+        victim = next(p for p in (store / "replicas").rglob("*")
+                      if p.is_file())
+        victim.unlink()
+        capsys.readouterr()
+        assert run("repair", "--store", store) == 0
+        assert "replicas rebuilt" in capsys.readouterr().out
+        assert run("scrub", "--store", store) == 0
+
+    def test_repair_promotes_lost_primary(self, source_tree, tmp_path,
+                                          capsys):
+        store = self.replicated_store(source_tree, tmp_path)
+        containers = sorted((store / "containers").iterdir())
+        containers[0].unlink()
+        capsys.readouterr()
+        assert run("repair", "--store", store) == 0
+        assert "1 primaries promoted" in capsys.readouterr().out
+        assert run("scrub", "--store", store) == 0
+        assert run("restore", "0", tmp_path / "out", "--store",
+                   store) == 0
+
+    def test_repair_reports_unrepairable(self, source_tree, tmp_path,
+                                         capsys):
+        store = self.replicated_store(source_tree, tmp_path)
+        containers = sorted((store / "containers").iterdir())
+        containers[0].unlink()
+        for p in list((store / "replicas").rglob("*")):
+            if p.is_file():
+                p.unlink()
+        capsys.readouterr()
+        assert run("repair", "--store", store) == 1
+        assert "UNREPAIRABLE" in capsys.readouterr().err
