@@ -17,6 +17,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.chunking import CDC_FAMILY
 from repro.classify.filetype import classify_path
 from repro.classify.policy import AA_POLICY_TABLE, DedupPolicy
 from repro.cloud.pricing import PriceBook, S3_APRIL_2011
@@ -97,7 +98,7 @@ def estimate_directory(root: str | os.PathLike,
     def delta_stored_size(app_label: str, chunker_name: str,
                           fingerprint: bytes, payload: bytes) -> int:
         """Bytes this unique chunk would occupy with the delta stage."""
-        if (sim is None or chunker_name not in ("cdc", "sc")
+        if (sim is None or chunker_name not in CDC_FAMILY + ("sc",)
                 or len(payload) < config.delta_min_chunk):
             return len(payload)
         sketch = compute_sketch(payload)

@@ -1,4 +1,6 @@
-"""Chunking substrate: the three chunking methods of the paper.
+"""Chunking substrate: the paper's three methods plus the fast family.
+
+The paper's intelligent chunker picks between three methods:
 
 * :class:`~repro.chunking.wfc.WholeFileChunker` — WFC, one chunk per file
   (used for compressed application data);
@@ -8,6 +10,14 @@
   48-byte Rabin window, 8 KiB expected / 2 KiB min / 16 KiB max
   (dynamic uncompressed data).
 
+Rabin stays the paper-faithful CDC default, but the CDC slot is a
+*family* (see docs/CHUNKING.md): :class:`~repro.chunking.gear.GearCDC`
+(add-shift-gather gear hash), :class:`~repro.chunking.gear.FastCDC`
+(gear + normalized chunking) and :class:`~repro.chunking.seqcdc.SeqCDC`
+(hash-less ascending-run detection) are drop-in boundary engines with
+the same 2/8/16 KiB geometry, each with a vectorised slab scan and a
+pure-Python differential oracle.
+
 All implement :class:`~repro.chunking.base.Chunker` and are registered by
 name so scheme policies can reference them declaratively.
 """
@@ -15,14 +25,27 @@ name so scheme policies can reference them declaratively.
 from repro.chunking.base import Chunk, Chunker, get_chunker, register_chunker
 from repro.chunking.wfc import WholeFileChunker
 from repro.chunking.static import StaticChunker
-from repro.chunking.cdc import RabinCDC
+from repro.chunking.cdc import ContentDefinedChunker, RabinCDC
+from repro.chunking.gear import FastCDC, GearCDC
+from repro.chunking.seqcdc import SeqCDC
+
+#: Policy names of the content-defined family — every member accepts the
+#: ``avg_size``/``min_size``/``max_size`` geometry and may stand in for
+#: Rabin wherever a policy says "CDC" (delta stage, trace model, CLI
+#: ``--chunker``).  Rabin ("cdc") is the paper-faithful default.
+CDC_FAMILY = ("cdc", "gear", "fastcdc", "seqcdc")
 
 __all__ = [
     "Chunk",
     "Chunker",
+    "ContentDefinedChunker",
     "get_chunker",
     "register_chunker",
     "WholeFileChunker",
     "StaticChunker",
     "RabinCDC",
+    "GearCDC",
+    "FastCDC",
+    "SeqCDC",
+    "CDC_FAMILY",
 ]

@@ -54,7 +54,8 @@ class Chunker(abc.ABC):
     implementation automatically satisfies the partition invariants.
     """
 
-    #: Registry name (``"wfc"``, ``"sc"``, ``"cdc"``).
+    #: Registry name (``"wfc"``, ``"sc"``, ``"cdc"``, ``"gear"``,
+    #: ``"fastcdc"``, ``"seqcdc"``).
     name: str = ""
 
     #: Profiling tracer; the engine swaps in a live one under

@@ -30,7 +30,7 @@ from repro.hashing.rabin import POLY64
 from repro.hashing.rolling import RollingRabin, window_fingerprints
 from repro.util.units import KIB
 
-__all__ = ["RabinCDC", "default_mask_bits"]
+__all__ = ["ContentDefinedChunker", "RabinCDC", "default_mask_bits"]
 
 
 def default_mask_bits(avg_size: int, min_size: int) -> int:
@@ -47,7 +47,91 @@ def default_mask_bits(avg_size: int, min_size: int) -> int:
     return max(1, bits)
 
 
-class RabinCDC(Chunker):
+class ContentDefinedChunker(Chunker):
+    """Shared min/max candidate-walk base for the CDC family.
+
+    Every content-defined chunker in this package (Rabin, Gear, FastCDC,
+    SeqCDC) reduces to the same two-phase structure:
+
+    1. a *candidate scan* — a content-local rule marks boundary
+       candidates over the whole buffer in one pass (vectorisable); and
+    2. a *candidate walk* — starting from each accepted cut, the first
+       candidate in ``[cut + min_size, cut + max_size]`` is taken, else
+       a forced maximum-size cut is made.
+
+    Subclasses implement :meth:`_candidates_numpy` (the vectorised slab
+    scan) and :meth:`_candidates_python` (the per-byte oracle, kept as a
+    cross-checked reference — the two must be bit-identical, which the
+    differential tests enforce) and set ``use_numpy`` to pick between
+    them.  :class:`~repro.chunking.gear.FastCDC` overrides
+    :meth:`cut_points` for its two-mask normalized walk but keeps the
+    same candidate-scan contract.
+    """
+
+    def __init__(self, avg_size: int, min_size: int, max_size: int) -> None:
+        if not (0 < min_size <= avg_size <= max_size):
+            raise ChunkingError(
+                f"require 0 < min ({min_size}) <= avg ({avg_size})"
+                f" <= max ({max_size})")
+        self.avg_size = avg_size
+        self.min_size = min_size
+        self.max_size = max_size
+        self.use_numpy = True
+
+    # ------------------------------------------------------------------
+    def expected_chunk_size(self) -> int:
+        """Expected chunk length before max-size clamping."""
+        return self.avg_size
+
+    def average_chunk_size(self) -> float:
+        """Nominal average chunk size used by cost models."""
+        return float(min(self.expected_chunk_size(), self.max_size))
+
+    # ------------------------------------------------------------------
+    def _candidates_numpy(self, data: bytes) -> np.ndarray:
+        """Vectorised sorted array of candidate cut offsets."""
+        raise NotImplementedError
+
+    def _candidates_python(self, data: bytes) -> np.ndarray:
+        """Per-byte oracle scan; must equal :meth:`_candidates_numpy`."""
+        raise NotImplementedError
+
+    def _candidates(self, data: bytes) -> np.ndarray:
+        return (self._candidates_numpy(data) if self.use_numpy
+                else self._candidates_python(data))
+
+    def cut_points(self, data: bytes) -> List[int]:
+        """Apply the candidate rule with min/max clamping over the buffer.
+
+        After each accepted cut at ``c`` the next boundary is the first
+        candidate in ``[c + min_size, c + max_size)``; if none exists a
+        *forced cut* is made at ``c + max_size`` — the effect that makes
+        CDC lose to SC on low-entropy static data (Observation 3).
+        """
+        n = len(data)
+        if n == 0:
+            return []
+        cand = self._candidates(data)
+        cuts: List[int] = []
+        start = 0
+        while start < n:
+            remaining = n - start
+            if remaining <= self.min_size:
+                cuts.append(n)
+                break
+            lo = start + self.min_size
+            hi = min(start + self.max_size, n)
+            j = int(np.searchsorted(cand, lo, side="left"))
+            if j < cand.shape[0] and cand[j] <= hi:
+                cut = int(cand[j])
+            else:
+                cut = hi  # forced maximum-size cut (or end of file)
+            cuts.append(cut)
+            start = cut
+        return cuts
+
+
+class RabinCDC(ContentDefinedChunker):
     """Rabin content-defined chunker.
 
     Parameters mirror the paper's evaluation setup: ``avg_size=8 KiB``
@@ -68,15 +152,9 @@ class RabinCDC(Chunker):
                  mask_bits: int | None = None,
                  magic: int | None = None,
                  use_numpy: bool = True) -> None:
-        if not (0 < min_size <= avg_size <= max_size):
-            raise ChunkingError(
-                f"require 0 < min ({min_size}) <= avg ({avg_size})"
-                f" <= max ({max_size})")
+        super().__init__(avg_size, min_size, max_size)
         if window < 1:
             raise ChunkingError("window must be >= 1")
-        self.avg_size = avg_size
-        self.min_size = min_size
-        self.max_size = max_size
         self.window = window
         self.poly = poly
         self.mask_bits = (default_mask_bits(avg_size, min_size)
@@ -91,10 +169,6 @@ class RabinCDC(Chunker):
     def expected_chunk_size(self) -> int:
         """Expected chunk length ``min_size + 2**mask_bits`` (pre-clamp)."""
         return self.min_size + (1 << self.mask_bits)
-
-    def average_chunk_size(self) -> float:
-        """Nominal average chunk size used by cost models."""
-        return float(min(self.expected_chunk_size(), self.max_size))
 
     # ------------------------------------------------------------------
     def _candidates_numpy(self, data: bytes) -> np.ndarray:
@@ -119,37 +193,6 @@ class RabinCDC(Chunker):
             if pos + 1 >= window and (fp & mask) == magic:
                 hits.append(pos + 1)
         return np.asarray(hits, dtype=np.int64)
-
-    def cut_points(self, data: bytes) -> List[int]:
-        """Apply the magic rule with min/max clamping over the whole buffer.
-
-        After each accepted cut at ``c`` the next boundary is the first
-        candidate in ``[c + min_size, c + max_size)``; if none exists a
-        *forced cut* is made at ``c + max_size`` — the effect that makes
-        CDC lose to SC on low-entropy static data (Observation 3).
-        """
-        n = len(data)
-        if n == 0:
-            return []
-        cand = (self._candidates_numpy(data) if self.use_numpy
-                else self._candidates_python(data))
-        cuts: List[int] = []
-        start = 0
-        while start < n:
-            remaining = n - start
-            if remaining <= self.min_size:
-                cuts.append(n)
-                break
-            lo = start + self.min_size
-            hi = min(start + self.max_size, n)
-            j = int(np.searchsorted(cand, lo, side="left"))
-            if j < cand.shape[0] and cand[j] <= hi:
-                cut = int(cand[j])
-            else:
-                cut = hi  # forced maximum-size cut (or end of file)
-            cuts.append(cut)
-            start = cut
-        return cuts
 
 
 register_chunker("cdc", RabinCDC)

@@ -22,21 +22,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
-from repro.chunking import Chunker, RabinCDC, StaticChunker, WholeFileChunker
+from repro.chunking import (CDC_FAMILY, Chunker, FastCDC, GearCDC, RabinCDC,
+                            SeqCDC, StaticChunker, WholeFileChunker)
 from repro.classify.filetype import AppType, Category, classify_path
 from repro.errors import ConfigError
 from repro.hashing import Fingerprinter, get_hash
 from repro.util.units import KIB
 
 __all__ = ["DedupPolicy", "AA_POLICY_TABLE", "policy_for_category",
-           "policy_for_path", "make_chunker"]
+           "policy_for_path", "make_chunker", "cdc_policy_variant"]
 
 
 @dataclass(frozen=True)
 class DedupPolicy:
     """Declarative (chunking, hashing) choice for one file category."""
 
-    #: ``"wfc"``, ``"sc"`` or ``"cdc"``.
+    #: ``"wfc"``, ``"sc"`` or a CDC-family name (``"cdc"``, ``"gear"``,
+    #: ``"fastcdc"``, ``"seqcdc"``).
     chunker: str
     #: Registered hash name (``"rabin12"``, ``"md5"``, ``"sha1"``).
     hash_name: str
@@ -57,15 +59,55 @@ class DedupPolicy:
         return self.make_chunker().average_chunk_size()
 
 
+#: Chunker classes addressable from a policy, by policy name.
+_POLICY_CHUNKERS = {
+    "wfc": WholeFileChunker,
+    "sc": StaticChunker,
+    "cdc": RabinCDC,
+    "gear": GearCDC,
+    "fastcdc": FastCDC,
+    "seqcdc": SeqCDC,
+}
+
+#: Geometry parameters shared by every CDC-family chunker; anything
+#: else in ``chunker_params`` (Rabin's ``window``, FastCDC's
+#: ``norm_level``, …) is engine-specific and dropped when a policy is
+#: re-targeted at a different family member.
+_CDC_GEOMETRY = ("avg_size", "min_size", "max_size")
+
+
 def make_chunker(name: str, params: Dict[str, int]) -> Chunker:
     """Construct a chunker by policy name with explicit parameters."""
-    if name == "wfc":
-        return WholeFileChunker()
-    if name == "sc":
-        return StaticChunker(**params) if params else StaticChunker()
-    if name == "cdc":
-        return RabinCDC(**params) if params else RabinCDC()
-    raise ConfigError(f"unknown chunker name in policy: {name!r}")
+    try:
+        factory = _POLICY_CHUNKERS[name]
+    except KeyError:
+        valid = ", ".join(sorted(_POLICY_CHUNKERS))
+        raise ConfigError(
+            f"unknown chunker name in policy: {name!r}; "
+            f"valid chunkers: {valid}") from None
+    return factory(**params) if params else factory()
+
+
+def cdc_policy_variant(policy: DedupPolicy, chunker: str) -> DedupPolicy:
+    """Re-target a CDC-family policy at another family member.
+
+    The shared size geometry carries over; engine-specific parameters
+    (e.g. Rabin's ``window``) are dropped in favour of the new engine's
+    defaults.  The fingerprint hash is unchanged — chunk identity is a
+    property of the digest, not of where the cuts fall.
+    """
+    if chunker not in CDC_FAMILY:
+        raise ConfigError(
+            f"unknown CDC-family chunker {chunker!r}; "
+            f"valid: {', '.join(CDC_FAMILY)}")
+    if policy.chunker not in CDC_FAMILY:
+        raise ConfigError(
+            f"policy uses {policy.chunker!r}, not a CDC-family chunker")
+    if chunker == policy.chunker:
+        return policy
+    params = {key: value for key, value in policy.chunker_params.items()
+              if key in _CDC_GEOMETRY}
+    return DedupPolicy(chunker, policy.hash_name, params)
 
 
 #: The AA-Dedupe policy table — the paper's Fig. 6, as data.

@@ -70,6 +70,12 @@ def cmd_backup(args) -> int:
     if args.container_size:
         config = config.with_(container_size=parse_size(
             args.container_size))
+    if args.chunker:
+        from repro.errors import ConfigError
+        try:
+            config = config.with_chunker(args.chunker)
+        except ConfigError as exc:
+            raise SystemExit(f"--chunker: {exc}")
     if args.delta is not None:
         config = config.with_(delta_compress=args.delta)
     if args.stat_cache is not None:
@@ -349,6 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="backup scheme (see `repro schemes`)")
     p.add_argument("--container-size", default=None,
                    help="override container size, e.g. 1MB")
+    p.add_argument("--chunker", default=None,
+                   help="content-defined boundary engine for dynamic "
+                        "files: cdc (Rabin, the paper default), gear, "
+                        "fastcdc or seqcdc (see docs/CHUNKING.md)")
     p.add_argument("--delta", action=argparse.BooleanOptionalAction,
                    default=None,
                    help="enable/disable similarity + delta compression "

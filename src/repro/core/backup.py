@@ -27,8 +27,9 @@ import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, Optional
 
+from repro.chunking import CDC_FAMILY
 from repro.chunking.base import Chunker
-from repro.chunking.cdc import RabinCDC
+from repro.chunking.cdc import ContentDefinedChunker
 from repro.classify.filetype import classify_name
 from repro.classify.policy import DedupPolicy
 from repro.container.manager import ContainerManager
@@ -57,8 +58,8 @@ _FILE_TIER_POLICY = DedupPolicy("wfc", "sha1")
 
 #: Chunking methods whose output the delta stage may target.  WFC means
 #: compressed content (application-awareness: re-deltaing compressed
-#: media buys nothing), so only CDC and SC chunks are sketched.
-_DELTA_CHUNKERS = ("cdc", "sc")
+#: media buys nothing), so only CDC-family and SC chunks are sketched.
+_DELTA_CHUNKERS = CDC_FAMILY + ("sc",)
 
 
 class _DeltaBase:
@@ -646,7 +647,7 @@ class BackupClient:
         # 3. Intelligent chunking + per-chunk fingerprints.
         chunker = self._chunker_for(policy)
         hasher = policy.fingerprinter()
-        if isinstance(chunker, RabinCDC):
+        if isinstance(chunker, ContentDefinedChunker):
             stats.ops.cdc_scanned_bytes += len(data)
         if tracer.enabled:
             with tracer.span("chunk", app=app.label,

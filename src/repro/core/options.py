@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
+from repro.chunking import CDC_FAMILY
 from repro.classify.filetype import Category
-from repro.classify.policy import AA_POLICY_TABLE, DedupPolicy
+from repro.classify.policy import AA_POLICY_TABLE, DedupPolicy, \
+    cdc_policy_variant
 from repro.errors import ConfigError
 from repro.util.units import KIB, MIB
 
@@ -217,6 +219,44 @@ class SchemeConfig:
     def with_(self, **changes) -> "SchemeConfig":
         """Return a modified copy (convenience for ablation sweeps)."""
         return replace(self, **changes)
+
+    def with_chunker(self, name: str) -> "SchemeConfig":
+        """Swap the content-defined boundary engine (CLI ``--chunker``).
+
+        Every CDC-family policy in the scheme (the DYNAMIC row of the
+        AA table, or a fixed all-CDC policy) is re-targeted at the
+        named engine; WFC/SC rows are untouched, so the intelligent
+        chunker's per-application decisions are preserved.  Raises
+        :class:`ConfigError` for unknown names or schemes with no
+        content-defined stage to swap.
+        """
+        if name not in CDC_FAMILY:
+            raise ConfigError(
+                f"unknown CDC-family chunker {name!r}; "
+                f"valid: {', '.join(CDC_FAMILY)}")
+        if self.incremental_only:
+            raise ConfigError(
+                f"scheme {self.name!r} is incremental-only and never "
+                f"chunks; --chunker does not apply")
+        if self.policy_table is not None:
+            table = {
+                category: (cdc_policy_variant(policy, name)
+                           if policy.chunker in CDC_FAMILY else policy)
+                for category, policy in self.policy_table.items()}
+            if all(policy.chunker not in CDC_FAMILY
+                   for policy in self.policy_table.values()):
+                raise ConfigError(
+                    f"scheme {self.name!r} has no content-defined "
+                    f"chunking stage to swap")
+            return self.with_(policy_table=table)
+        assert self.fixed_policy is not None
+        if self.fixed_policy.chunker not in CDC_FAMILY:
+            raise ConfigError(
+                f"scheme {self.name!r} chunks with "
+                f"{self.fixed_policy.chunker!r}, not a CDC-family "
+                f"engine; --chunker does not apply")
+        return self.with_(
+            fixed_policy=cdc_policy_variant(self.fixed_policy, name))
 
 
 def aa_dedupe_config(**overrides) -> SchemeConfig:

@@ -76,6 +76,10 @@ class Profile:
     #: close-time flushes — real work, but not part of a backup window).
     accounted_seconds: float = 0.0
     outside_seconds: float = 0.0
+    #: Boundary-engine name -> aggregated ``chunk.cut`` scan row, so a
+    #: profile shows which chunker burned the scan time and at what
+    #: throughput (the fast-chunker family makes this a real choice).
+    chunkers: Dict[str, StageRow] = field(default_factory=dict)
 
 
 def _self_times(spans: Sequence[Span]) -> Dict[int, float]:
@@ -160,6 +164,18 @@ def stage_breakdown(spans: Sequence[Span]) -> Profile:
         if isinstance(app, str) and span.name not in _ROOT_NAMES:
             per_app = profile.apps.setdefault(app, defaultdict(float))
             per_app[stage_group(span.name)] += selves[span.span_id]
+
+        if span.name == "chunk.cut":
+            engine = span.attrs.get("chunker")
+            if isinstance(engine, str):
+                crow = profile.chunkers.get(engine)
+                if crow is None:
+                    crow = profile.chunkers[engine] = StageRow(stage=engine)
+                crow.calls += 1
+                crow.total_seconds += span.duration
+                crow.self_seconds += selves[span.span_id]
+                if isinstance(nbytes, (int, float)):
+                    crow.bytes += int(nbytes)
     return profile
 
 
@@ -194,6 +210,19 @@ def render_profile(spans: Sequence[Span]) -> str:
             f"{row.self_seconds:.6f}", share(row.self_seconds),
             row.bytes or ""])
     sections = [stage_table.render()]
+
+    if profile.chunkers:
+        cut_table = Table(
+            ["chunker", "scans", "bytes", "scan s", "MB/s"],
+            title="Boundary-scan profile (chunk.cut spans per engine)")
+        for engine in sorted(profile.chunkers):
+            row = profile.chunkers[engine]
+            rate = (row.bytes / row.total_seconds / 1e6
+                    if row.total_seconds > 0 else 0.0)
+            cut_table.add_row([engine, row.calls, row.bytes,
+                               f"{row.total_seconds:.6f}",
+                               f"{rate:.1f}"])
+        sections.append(cut_table.render())
 
     if profile.apps:
         app_table = Table(["app"] + [f"{c} %" for c in _APP_COLUMNS]

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Set
 
+from repro.chunking import CDC_FAMILY
 from repro.classify.filetype import classify_name
 from repro.core.options import SchemeConfig
 from repro.core.stats import SessionStats
@@ -184,7 +185,12 @@ class TraceBackupClient:
 
         namespace = self._namespace(app.label, policy)
         params = dict(policy.chunker_params)
-        if policy.chunker == "cdc":
+        if policy.chunker in CDC_FAMILY:
+            # The trace layer models cut *placement* abstractly (block-
+            # keyed pseudo-random candidates), so every CDC-family
+            # engine shares the one content-defined boundary model; the
+            # engines differ in scan cost, not in the statistics the
+            # trace evaluation measures.
             stats.ops.cdc_scanned_bytes += comp.size
             chunks = sim_chunks(comp, "cdc", self._boundaries,
                                 min_size=params.get("min_size", 2048),

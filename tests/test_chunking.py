@@ -1,4 +1,7 @@
-"""Tests for the chunking substrate: WFC, SC, CDC and shared invariants."""
+"""Tests for the chunking substrate: WFC, SC, the CDC family and shared
+invariants, including the vectorized-vs-reference differential oracles."""
+
+import hashlib
 
 import numpy as np
 import pytest
@@ -6,14 +9,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chunking import (
+    CDC_FAMILY,
     Chunk,
+    ContentDefinedChunker,
+    FastCDC,
+    GearCDC,
     RabinCDC,
+    SeqCDC,
     StaticChunker,
     WholeFileChunker,
     get_chunker,
 )
 from repro.chunking.base import available_chunkers
 from repro.chunking.cdc import default_mask_bits
+from repro.chunking.gear import GEAR_WINDOW, gear_table, gear_window_hashes
 from repro.errors import ChunkingError
 from repro.util.units import KIB
 
@@ -166,12 +175,273 @@ class TestRabinCDC:
 
 class TestRegistry:
     def test_names(self):
-        assert set(available_chunkers()) >= {"wfc", "sc", "cdc"}
+        assert set(available_chunkers()) >= {
+            "wfc", "sc", "cdc", "gear", "fastcdc", "seqcdc"}
+        assert set(CDC_FAMILY) <= set(available_chunkers())
 
     def test_get_chunker_defaults(self):
         assert isinstance(get_chunker("cdc"), RabinCDC)
         assert get_chunker("sc").chunk_size == 8 * KIB
+        assert isinstance(get_chunker("gear"), GearCDC)
+        assert isinstance(get_chunker("fastcdc"), FastCDC)
+        assert isinstance(get_chunker("seqcdc"), SeqCDC)
+
+    def test_cdc_family_members_share_geometry(self):
+        for name in CDC_FAMILY:
+            chunker = get_chunker(name)
+            assert isinstance(chunker, ContentDefinedChunker)
+            assert (chunker.min_size, chunker.max_size) == (2048, 16384)
 
     def test_unknown(self):
         with pytest.raises(ChunkingError):
             get_chunker("rolling-stones")
+
+
+# ---------------------------------------------------------------------------
+# The fast-chunker family: Gear, FastCDC, SeqCDC.
+
+def _fast_classes():
+    return [GearCDC, FastCDC, SeqCDC]
+
+
+def _adversarial_cases(rng):
+    """The differential-oracle input set from the issue: random buffers
+    plus the inputs most likely to expose scan/warm-up disagreements."""
+    return {
+        "random": rng.integers(0, 256, 120_000,
+                               dtype=np.uint8).tobytes(),
+        "all-zero": bytes(80_000),
+        "repeated-byte": b"\xc7" * 80_000,
+        "ascending-cycle": bytes(range(256)) * 300,
+        "shorter-than-window": rng.integers(0, 256, 5,
+                                            dtype=np.uint8).tobytes(),
+        "window-minus-one": rng.integers(0, 256, GEAR_WINDOW - 1,
+                                         dtype=np.uint8).tobytes(),
+        "exactly-min": rng.integers(0, 256, 2048,
+                                    dtype=np.uint8).tobytes(),
+        "exactly-max": rng.integers(0, 256, 16384,
+                                    dtype=np.uint8).tobytes(),
+        "empty": b"",
+    }
+
+
+class TestGearHash:
+    def test_gear_table_deterministic(self):
+        table = gear_table()
+        assert table.shape == (256,) and table.dtype == np.uint32
+        assert np.array_equal(table, gear_table())
+
+    def test_window_hashes_match_streaming_recurrence(self, rng):
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        gear = [int(v) for v in gear_table()]
+        h, expected = 0, []
+        for pos, byte in enumerate(data):
+            h = ((h << 1) + gear[byte]) & 0xFFFFFFFF
+            if pos + 1 >= GEAR_WINDOW:
+                expected.append(h)
+        assert gear_window_hashes(data).tolist() == expected
+
+    def test_window_hashes_short_input(self):
+        assert gear_window_hashes(b"x" * (GEAR_WINDOW - 1)).size == 0
+
+
+class TestGearCDC:
+    def test_parameter_validation(self):
+        with pytest.raises(ChunkingError):
+            GearCDC(min_size=0)
+        with pytest.raises(ChunkingError):
+            GearCDC(min_size=100, avg_size=50, max_size=200)
+        with pytest.raises(ChunkingError):
+            GearCDC(mask_bits=0)
+        with pytest.raises(ChunkingError):
+            GearCDC(mask_bits=32)
+
+    def test_mask_selects_high_bits(self):
+        gear = GearCDC(mask_bits=13)
+        assert gear.mask == 0x1FFF << 19
+        assert gear.magic == gear.mask
+
+    def test_mean_chunk_size_near_expected(self, rng):
+        data = rng.integers(0, 256, size=2 * 1024 * 1024,
+                            dtype=np.uint8).tobytes()
+        gear = GearCDC()
+        chunks = gear.chunk(data)
+        mean = len(data) / len(chunks)
+        expected = gear.expected_chunk_size()
+        assert 0.5 * expected < mean < 1.6 * expected
+
+    def test_low_entropy_forced_cuts(self):
+        # No gear candidate fires on constant data (magic is all-ones
+        # under the mask), so the family degrades to forced max-size
+        # cuts exactly like Rabin — Observation 3's failure mode.
+        gear = GearCDC()
+        for data in (bytes(100_000), b"\x5a" * 100_000):
+            chunks = gear.chunk(data)
+            assert all(c.length == gear.max_size for c in chunks[:-1])
+
+    def test_boundaries_survive_insert(self, random_bytes):
+        data = random_bytes[:128 * 1024]
+        mutated = data[: 40 * 1024] + b"INSERTED" * 4 + data[40 * 1024:]
+        gear = GearCDC()
+        before = {c.data for c in gear.chunk(data)}
+        after = {c.data for c in gear.chunk(mutated)}
+        assert len(before & after) >= 0.6 * len(before)
+
+
+class TestFastCDC:
+    def test_parameter_validation(self):
+        with pytest.raises(ChunkingError):
+            FastCDC(normal_size=1024)          # below min
+        with pytest.raises(ChunkingError):
+            FastCDC(normal_size=32 * KIB)      # above max
+        with pytest.raises(ChunkingError):
+            FastCDC(norm_level=-1)
+
+    def test_masks_nest(self, random_bytes):
+        fast = FastCDC()
+        assert fast.small_bits > fast.large_bits
+        assert fast.mask_small & fast.mask_large == fast.mask_large
+        small, large = fast._candidate_pair(random_bytes)
+        assert set(small.tolist()) <= set(large.tolist())
+
+    def test_normalization_tightens_distribution(self, rng):
+        """The two-mask walk trades tail chunks for centre chunks: far
+        fewer forced maximum-size cuts than the single-mask gear scan,
+        and a mean still near the 8 KiB target."""
+        data = rng.integers(0, 256, size=4 * 1024 * 1024,
+                            dtype=np.uint8).tobytes()
+        gear_sizes = np.diff([0] + GearCDC().cut_points(data))
+        fast = FastCDC()
+        fast_sizes = np.diff([0] + fast.cut_points(data))
+        forced_gear = np.mean(gear_sizes == 16384)
+        forced_fast = np.mean(fast_sizes == 16384)
+        assert forced_fast < 0.5 * forced_gear
+        assert 0.6 * fast.avg_size < fast_sizes.mean() < 1.6 * fast.avg_size
+
+    def test_low_entropy_forced_cuts(self):
+        fast = FastCDC()
+        chunks = fast.chunk(bytes(100_000))
+        assert all(c.length == fast.max_size for c in chunks[:-1])
+
+    def test_boundaries_survive_insert(self, random_bytes):
+        data = random_bytes[:128 * 1024]
+        mutated = data[: 40 * 1024] + b"INSERTED" * 4 + data[40 * 1024:]
+        fast = FastCDC()
+        before = {c.data for c in fast.chunk(data)}
+        after = {c.data for c in fast.chunk(mutated)}
+        assert len(before & after) >= 0.6 * len(before)
+
+
+class TestSeqCDC:
+    def test_parameter_validation(self):
+        with pytest.raises(ChunkingError):
+            SeqCDC(seq_length=1)
+        with pytest.raises(ChunkingError):
+            SeqCDC(seq_length=300)
+        with pytest.raises(ChunkingError):
+            SeqCDC(min_size=0)
+
+    def test_cuts_after_ascending_runs(self):
+        # One long ascending ramp placed past min_size must attract the
+        # first cut to its end (run end = earliest candidate).
+        seq = SeqCDC(avg_size=512, min_size=128, max_size=4096,
+                     seq_length=5)
+        ramp_at = 200
+        data = bytearray(b"\x80\x00" * 3000)   # no ascents anywhere else
+        data[ramp_at: ramp_at + 5] = bytes(range(10, 15))
+        data[ramp_at - 1] = 0xFF               # pin the run start
+        cuts = seq.cut_points(bytes(data))
+        assert cuts[0] == ramp_at + 5
+
+    def test_low_entropy_forced_cuts(self):
+        seq = SeqCDC()
+        chunks = seq.chunk(b"\x11" * 100_000)
+        assert all(c.length == seq.max_size for c in chunks[:-1])
+
+    def test_mean_chunk_size_near_expected(self, rng):
+        data = rng.integers(0, 256, size=2 * 1024 * 1024,
+                            dtype=np.uint8).tobytes()
+        seq = SeqCDC()
+        mean = len(data) / len(seq.chunk(data))
+        assert 0.5 * seq.avg_size < mean < 1.6 * seq.avg_size
+
+
+class TestDifferentialOracles:
+    """Vectorized slab scans must be byte-identical to the pure-Python
+    reference implementations — on random buffers and on every
+    adversarial input class from the issue."""
+
+    @pytest.mark.parametrize("cls", _fast_classes(),
+                             ids=lambda c: c.name)
+    def test_cut_points_identical(self, cls, rng):
+        for label, data in _adversarial_cases(rng).items():
+            fast = cls(use_numpy=True)
+            slow = cls(use_numpy=False)
+            assert fast.cut_points(data) == slow.cut_points(data), label
+
+    @pytest.mark.parametrize("cls", _fast_classes(),
+                             ids=lambda c: c.name)
+    def test_candidates_identical(self, cls, rng):
+        for label, data in _adversarial_cases(rng).items():
+            chunker = cls()
+            assert np.array_equal(
+                chunker._candidates_numpy(data),
+                chunker._candidates_python(data)), label
+
+    def test_fastcdc_candidate_pair_identical(self, rng):
+        fast = FastCDC()
+        for label, data in _adversarial_cases(rng).items():
+            ns, nl = fast._candidate_pair_numpy(data)
+            ps, pl = fast._candidate_pair_python(data)
+            assert np.array_equal(ns, ps) and np.array_equal(nl, pl), label
+
+
+def _versioned_documents(docs=4, sessions=4, doc_kib=64, seed=2011):
+    """Flat list of document versions under light editing (the delta
+    bench's churn pattern, miniaturised for a tier-1 test)."""
+    r = np.random.default_rng(seed)
+
+    def edit(data):
+        arr = bytearray(data)
+        for _ in range(int(r.integers(2, 7))):
+            pos = int(r.integers(0, max(1, len(arr) - 40)))
+            arr[pos:pos + 24] = r.integers(0, 256, 24,
+                                           dtype=np.uint8).tobytes()
+        pos = int(r.integers(0, len(arr) + 1))
+        patch = r.integers(0, 256, int(r.integers(16, 80)),
+                           dtype=np.uint8).tobytes()
+        return bytes(arr[:pos]) + patch + bytes(arr[pos:])
+
+    current = [r.integers(0, 256, doc_kib * 1024, dtype=np.uint8).tobytes()
+               for _ in range(docs)]
+    versions = []
+    for _ in range(sessions):
+        versions.extend(current)
+        current = [edit(doc) for doc in current]
+    return versions
+
+
+def _dedup_ratio(chunker, buffers) -> float:
+    seen = set()
+    total = unique = 0
+    for data in buffers:
+        for chunk in chunker.chunk(data):
+            total += chunk.length
+            digest = hashlib.sha1(chunk.data).digest()
+            if digest not in seen:
+                seen.add(digest)
+                unique += chunk.length
+    return total / unique
+
+
+class TestDedupRatioParity:
+    """The speed family must not silently wreck the metric the paper
+    optimizes: on the versioned-document workload each fast engine's
+    dedup ratio stays within 5% of the Rabin baseline."""
+
+    def test_fast_family_within_5pct_of_rabin(self):
+        versions = _versioned_documents()
+        rabin = _dedup_ratio(RabinCDC(), versions)
+        for cls in (FastCDC, GearCDC):
+            ratio = _dedup_ratio(cls(), versions)
+            assert ratio >= 0.95 * rabin, (cls.name, ratio, rabin)

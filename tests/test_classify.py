@@ -16,7 +16,9 @@ from repro.classify import (
     register_app_type,
     sniff_bytes,
 )
-from repro.chunking import RabinCDC, StaticChunker, WholeFileChunker
+from repro.chunking import (FastCDC, GearCDC, RabinCDC, SeqCDC,
+                            StaticChunker, WholeFileChunker)
+from repro.classify.policy import cdc_policy_variant, make_chunker
 from repro.errors import ConfigError
 
 
@@ -135,3 +137,44 @@ class TestPolicyTable:
         for policy in AA_POLICY_TABLE.values():
             fp = policy.fingerprinter()
             assert fp.digest_size in (12, 16, 20)
+
+    def test_fast_chunker_policies_resolve(self):
+        for name, cls in [("gear", GearCDC), ("fastcdc", FastCDC),
+                          ("seqcdc", SeqCDC)]:
+            chunker = make_chunker(name, {"avg_size": 4096,
+                                          "min_size": 1024,
+                                          "max_size": 8192})
+            assert isinstance(chunker, cls)
+            assert (chunker.min_size, chunker.max_size) == (1024, 8192)
+
+    def test_make_chunker_unknown_name_lists_valid_names(self):
+        with pytest.raises(ConfigError) as excinfo:
+            make_chunker("bogus", {})
+        message = str(excinfo.value)
+        assert "'bogus'" in message
+        for name in ("wfc", "sc", "cdc", "gear", "fastcdc", "seqcdc"):
+            assert name in message
+
+
+class TestCDCPolicyVariant:
+    def test_retarget_keeps_geometry_drops_engine_params(self):
+        base = AA_POLICY_TABLE[Category.DYNAMIC]
+        variant = cdc_policy_variant(base, "fastcdc")
+        assert variant.chunker == "fastcdc"
+        assert variant.hash_name == base.hash_name
+        assert "window" not in variant.chunker_params
+        chunker = variant.make_chunker()
+        assert isinstance(chunker, FastCDC)
+        assert (chunker.min_size, chunker.max_size) == (2048, 16384)
+
+    def test_same_engine_is_identity(self):
+        base = AA_POLICY_TABLE[Category.DYNAMIC]
+        assert cdc_policy_variant(base, "cdc") is base
+
+    def test_non_cdc_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            cdc_policy_variant(AA_POLICY_TABLE[Category.COMPRESSED], "gear")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigError):
+            cdc_policy_variant(AA_POLICY_TABLE[Category.DYNAMIC], "bogus")

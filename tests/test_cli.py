@@ -75,6 +75,29 @@ class TestBackupRestoreCycle:
         assert run("backup", source_tree, "--store", store,
                    "--container-size", "64KB") == 0
 
+    @pytest.mark.parametrize("chunker", ["gear", "fastcdc", "seqcdc"])
+    def test_chunker_override_full_cycle(self, source_tree, tmp_path,
+                                         capsys, chunker):
+        store = tmp_path / "cloud"
+        assert run("backup", source_tree, "--store", store,
+                   "--chunker", chunker) == 0
+        out = capsys.readouterr().out
+        assert "session 0" in out
+        dest = tmp_path / "out"
+        assert run("restore", "0", dest, "--store", store) == 0
+        assert (dest / "docs" / "report.doc").read_bytes() == \
+            (source_tree / "docs" / "report.doc").read_bytes()
+
+    def test_unknown_chunker_error_lists_valid_names(self, source_tree,
+                                                     tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run("backup", source_tree, "--store", tmp_path / "c",
+                "--chunker", "bogus")
+        message = str(excinfo.value)
+        assert "--chunker" in message and "'bogus'" in message
+        for name in ("cdc", "gear", "fastcdc", "seqcdc"):
+            assert name in message
+
 
 class TestMaintenanceCommands:
     def test_scrub_clean(self, source_tree, tmp_path, capsys):

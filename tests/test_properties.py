@@ -148,6 +148,77 @@ class TestContainerProperty:
 
 
 # ---------------------------------------------------------------------------
+# Chunker-family invariants: every registered chunker — the paper's
+# WFC/SC/Rabin plus the fast family (gear, fastcdc, seqcdc) — must
+# satisfy the same partition contract on arbitrary inputs.
+from repro.chunking import CDC_FAMILY  # noqa: E402
+from repro.chunking.base import available_chunkers, get_chunker  # noqa: E402
+
+_chunk_inputs = st.one_of(
+    st.binary(max_size=200),
+    st.binary(min_size=1_000, max_size=60_000),
+    st.binary(min_size=1, max_size=64).map(lambda b: b * 700))
+
+
+class TestChunkerFamilyInvariants:
+    @pytest.mark.parametrize("name", sorted(available_chunkers()))
+    @given(data=_chunk_inputs)
+    @_slow
+    def test_partition_bounds_determinism(self, name, data):
+        """Chunks concatenate to the input, respect the chunker's size
+        bounds (the final tail chunk is exempt from the minimum), and
+        the output is deterministic."""
+        chunker = get_chunker(name)
+        chunks = chunker.chunk(data)
+        assert b"".join(c.data for c in chunks) == data
+        if not data:
+            assert chunks == []
+            return
+        offset = 0
+        for chunk in chunks:
+            assert chunk.offset == offset
+            assert chunk.length == len(chunk.data)
+            offset += chunk.length
+        min_size = getattr(chunker, "min_size", 1)
+        max_size = getattr(chunker, "max_size", float("inf"))
+        for chunk in chunks[:-1]:
+            assert min_size <= chunk.length <= max_size
+        assert 1 <= chunks[-1].length <= max_size
+        # Determinism: a fresh instance cuts identically.
+        assert get_chunker(name).cut_points(data) == \
+            chunker.cut_points(data)
+
+    @pytest.mark.parametrize("name", sorted(CDC_FAMILY))
+    @given(data=_chunk_inputs)
+    @_slow
+    def test_vectorized_matches_reference(self, name, data):
+        """Differential oracle: the NumPy slab scan of every CDC-family
+        engine cuts exactly where its pure-Python reference does."""
+        fast = get_chunker(name)
+        slow = get_chunker(name)
+        slow.use_numpy = False
+        assert fast.cut_points(data) == slow.cut_points(data)
+
+    @pytest.mark.parametrize("name", ["cdc", "gear", "fastcdc"])
+    @pytest.mark.parametrize("prefix_len", [1, 7, 2 * KIB])
+    def test_prefix_insertion_boundary_stability(self, rng, name,
+                                                 prefix_len):
+        """Gear and FastCDC boundaries depend only on a fixed byte
+        window, so a prefix insertion re-synchronises downstream
+        boundaries just as it does for Rabin (same threshold)."""
+        chunker = get_chunker(name)
+        data = rng.integers(0, 256, 120_000, dtype=np.uint8).tobytes()
+        prefix = rng.integers(0, 256, prefix_len,
+                              dtype=np.uint8).tobytes()
+        base = {hashlib.sha1(c.data).digest()
+                for c in chunker.chunk(data)}
+        shifted = chunker.chunk(prefix + data)
+        shared = sum(c.length for c in shifted
+                     if hashlib.sha1(c.data).digest() in base)
+        assert shared >= 0.5 * len(data)
+
+
+# ---------------------------------------------------------------------------
 # CDC invariants (paper Sec. III-C): any input, any parameterisation.
 _cdc_params = [
     dict(),                                               # paper defaults
