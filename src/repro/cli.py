@@ -80,6 +80,12 @@ def cmd_backup(args) -> int:
         config = config.with_(delta_compress=args.delta)
     if args.stat_cache is not None:
         config = config.with_(stat_cache=args.stat_cache)
+    if args.parallel is not None:
+        if args.parallel < 1:
+            raise SystemExit("--parallel: must be >= 1")
+        config = config.with_(parallel_workers=args.parallel)
+    if args.pipeline is not None:
+        config = config.with_(pipeline_uploads=args.pipeline)
     tracer = None
     if args.profile:
         from repro.obs import Tracer
@@ -126,6 +132,15 @@ def cmd_backup(args) -> int:
                   f"deltas, {format_bytes(stats.delta_bytes_saved)} "
                   f"saved beyond exact dedup "
                   f"({stats.delta_rejected} rejected by cutoff)")
+        if stats.stage_busy_seconds:
+            order = ("read", "chunk", "hash", "commit", "pack", "upload")
+            busy = stats.stage_busy_seconds
+            parts = [f"{name} {format_seconds(busy[name])}"
+                     for name in order if name in busy]
+            parts.extend(f"{name} {format_seconds(value)}"
+                         for name, value in sorted(busy.items())
+                         if name not in order)
+            print(f"  stages: {', '.join(parts)}")
     if tracer is not None:
         from repro.obs import render_profile
 
@@ -367,6 +382,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="enable/disable the cross-session unchanged-"
                         "file recipe cache (default: scheme setting)")
+    p.add_argument("--parallel", type=int, default=None, metavar="N",
+                   help="run the staged read/chunk/hash pipeline with "
+                        "N-wide chunk and hash stages (default: serial; "
+                        "manifests are byte-identical either way)")
+    p.add_argument("--pipeline", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="enable/disable overlapping container pack + "
+                        "upload with dedup (default: scheme setting)")
     p.add_argument("--quiet", action="store_true")
     p.add_argument("--profile", action="store_true",
                    help="trace the run; print a stage profile and write "

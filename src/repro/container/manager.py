@@ -12,9 +12,11 @@ self-describing but not padded.
 
 from __future__ import annotations
 
+import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.container.format import (ContainerWriter, FLAG_DELTA,
                                     FLAG_TINY_FILE)
@@ -62,7 +64,8 @@ class ContainerManager:
                  container_size: int = 1 * MIB,
                  pad_containers: bool = True,
                  first_container_id: int = 0,
-                 tracer=None) -> None:
+                 tracer=None,
+                 pack_async: bool = False) -> None:
         if container_size < 4096:
             raise ContainerError("container_size must be >= 4096")
         self._upload = upload
@@ -75,6 +78,24 @@ class ContainerManager:
         # Parallel per-application dedup workers append to different
         # streams but share id allocation, stats and the upload path.
         self._lock = threading.RLock()
+        # -- async pack stage (pipelined engine only) -------------------
+        # Serialize + pad + upload hand-off runs on one dedicated
+        # thread so the commit path returns as soon as the chunk is
+        # appended.  Offsets and container ids are assigned at append
+        # time under the lock, so moving the seal off-thread cannot
+        # change manifest bytes.  One thread (not a pool) keeps seal
+        # spans and journal records ordered per manager.
+        self.pack_busy_seconds = 0.0
+        self._pack_error: Optional[BaseException] = None
+        self._pack_cond = threading.Condition()
+        self._pack_outstanding = 0
+        self._pack_queue: Optional["queue.Queue"] = None
+        self._pack_thread: Optional[threading.Thread] = None
+        if pack_async:
+            self._pack_queue = queue.Queue(maxsize=4)
+            self._pack_thread = threading.Thread(
+                target=self._pack_run, daemon=True, name="aa-pack")
+            self._pack_thread.start()
 
     # ------------------------------------------------------------------
     def _new_writer(self, capacity: int | None = None) -> ContainerWriter:
@@ -85,6 +106,13 @@ class ContainerManager:
 
     def _seal(self, writer: ContainerWriter, *, pad: bool,
               stream: str = "default") -> None:
+        if self._pack_queue is not None:
+            self._pack_submit(writer, pad, stream)
+            return
+        self._seal_now(writer, pad, stream)
+
+    def _seal_now(self, writer: ContainerWriter, pad: bool,
+                  stream: str) -> None:
         tracer = self.tracer
         if not tracer.enabled:
             self._seal_inner(writer, pad)
@@ -96,6 +124,66 @@ class ContainerManager:
         tracer.metrics.histogram(
             "container_payload_bytes",
             CHUNK_SIZE_BUCKETS).observe(writer.data_size)
+
+    # -- pack worker (async seal + upload hand-off) ---------------------
+    def _pack_run(self) -> None:
+        try:
+            while True:
+                job = self._pack_queue.get()
+                if job is None:
+                    return
+                writer, pad, stream = job
+                start = time.perf_counter()
+                try:
+                    if self._pack_error is None:  # fail fast: drop rest
+                        self._seal_now(writer, pad, stream)
+                except BaseException as exc:
+                    if self._pack_error is None:
+                        self._pack_error = exc
+                finally:
+                    self.pack_busy_seconds += time.perf_counter() - start
+                    self._pack_finish_one()
+        finally:
+            with self._pack_cond:
+                self._pack_cond.notify_all()
+
+    def _pack_finish_one(self) -> None:
+        with self._pack_cond:
+            self._pack_outstanding -= 1
+            self._pack_cond.notify_all()
+
+    def _raise_pack_error(self) -> None:
+        if self._pack_error is not None:
+            error, self._pack_error = self._pack_error, None
+            raise ContainerError("container pack failed") from error
+
+    def _pack_submit(self, writer: ContainerWriter, pad: bool,
+                     stream: str) -> None:
+        self._raise_pack_error()
+        with self._pack_cond:
+            self._pack_outstanding += 1
+        while True:
+            if not self._pack_thread.is_alive():
+                self._pack_finish_one()
+                raise ContainerError("container pack worker died") \
+                    from self._pack_error
+            try:
+                self._pack_queue.put((writer, pad, stream), timeout=0.1)
+                return
+            except queue.Full:
+                continue
+
+    def _pack_drain(self) -> None:
+        """Wait until every queued seal has uploaded (liveness-guarded)."""
+        with self._pack_cond:
+            while self._pack_outstanding > 0:
+                if not self._pack_thread.is_alive():
+                    break
+                self._pack_cond.wait(0.1)
+            stranded = self._pack_outstanding
+        self._raise_pack_error()
+        if stranded > 0:
+            raise ContainerError("container pack worker died")
 
     def _seal_inner(self, writer: ContainerWriter, pad: bool) -> None:
         blob = writer.seal(pad_to_capacity=pad)
@@ -120,6 +208,8 @@ class ContainerManager:
         its encoding instead of expecting chunk plaintext).
         Thread-safe (parallel per-application workers share the manager).
         """
+        if self._pack_queue is not None:
+            self._raise_pack_error()  # surface async seal failures early
         with self._lock:
             return self._add_locked(fingerprint, data, stream,
                                     tiny_file=tiny_file, delta=delta)
@@ -156,7 +246,10 @@ class ContainerManager:
 
         End-of-session flush pads the final container to full size, per
         the paper ("if a container is not full but needs to be written to
-        disk, it is padded out to its full size").
+        disk, it is padded out to its full size").  With the async pack
+        stage, returns only after every queued seal has been handed to
+        the uploader — callers rely on flush as the "all containers
+        submitted" barrier before the manifest upload.
         """
         with self._lock:
             streams = ([stream] if stream is not None
@@ -166,6 +259,16 @@ class ContainerManager:
                 if writer is not None and writer.chunk_count:
                     self._seal(writer, pad=self.pad_containers,
                                stream=name)
+        if self._pack_queue is not None:
+            self._pack_drain()
+
+    def close(self) -> None:
+        """Flush open containers and stop the pack worker (if any)."""
+        self.flush()
+        thread = self._pack_thread
+        if thread is not None and thread.is_alive():
+            self._pack_queue.put(None)
+            thread.join(timeout=10.0)
 
     @property
     def next_container_id(self) -> int:

@@ -38,6 +38,7 @@ from repro.cloud.retry import RetryPolicy
 from repro.core.filecache import FileCache, read_epoch
 from repro.core.journal import SessionJournal
 from repro.core.options import SchemeConfig, aa_dedupe_config
+from repro.core.pipeline import StagePipeline, WorkItem
 from repro.core.recipe import ChunkRef, FileEntry, Manifest
 from repro.core.source import SourceFile
 from repro.core.stats import SessionStats
@@ -84,7 +85,8 @@ class _PreparedFile:
     and replays the placements serially in source order.
     """
 
-    __slots__ = ("sf", "app", "tiny", "file_fp", "policy", "chunks")
+    __slots__ = ("sf", "app", "tiny", "file_fp", "policy", "raw",
+                 "chunks")
 
     def __init__(self, sf: SourceFile, app) -> None:
         self.sf = sf
@@ -93,6 +95,10 @@ class _PreparedFile:
         #: SAM file-level-tier whole-file fingerprint (when probed).
         self.file_fp: Optional[bytes] = None
         self.policy: Optional[DedupPolicy] = None
+        #: Chunk-stage output awaiting fingerprints: raw chunk payloads
+        #: in file order (``None`` once hashed, or on a file-tier peek
+        #: hit where nothing needs hashing).
+        self.raw: Optional[list] = None
         #: (fingerprint, sealed payload, wrapped key, logical length).
         self.chunks: list = []
 
@@ -108,6 +114,13 @@ class _PipelinedUploader:
     thread outlives the session.  ``on_success(key, blob)`` (when given)
     runs on the worker thread after each durable upload — the hook the
     session journal uses to record completed uploads.
+
+    Completion tracking is an outstanding-item counter under a
+    condition variable rather than ``queue.join()``: every blocking
+    wait is a timed loop that checks worker liveness, so a worker
+    thread killed by an unexpected exception (a poison item, a bug in a
+    success hook) surfaces as a :class:`BackupError` instead of hanging
+    the session forever on a join that can never complete.
     """
 
     def __init__(self, put: Callable[[str, bytes], None],
@@ -119,6 +132,8 @@ class _PipelinedUploader:
         self._tracer = tracer if tracer is not None else NOOP_TRACER
         self._queue: "queue.Queue" = queue.Queue(maxsize=depth)
         self._error: Optional[BaseException] = None
+        self._cond = threading.Condition()
+        self._outstanding = 0
         self.busy_seconds = 0.0
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="aa-uploader")
@@ -129,31 +144,46 @@ class _PipelinedUploader:
         if self._on_success is not None:
             self._on_success(key, blob)
 
+    def _finish_one(self) -> None:
+        with self._cond:
+            self._outstanding -= 1
+            self._cond.notify_all()
+
     def _run(self) -> None:
-        while True:
-            item = self._queue.get()
-            if item is None:
-                self._queue.task_done()
-                return
-            if self._error is not None:  # fail fast: drop queued work
-                self._queue.task_done()
-                continue
-            key, blob, app = item
-            start = time.perf_counter()
-            try:
-                if self._tracer.enabled:
-                    attrs = {"key": key, "bytes": len(blob)}
-                    if app is not None:
-                        attrs["app"] = app
-                    with self._tracer.span("upload", **attrs):
+        try:
+            while True:
+                item = self._queue.get()
+                if item is None:
+                    return
+                if self._error is not None:  # fail fast: drop queued work
+                    self._finish_one()
+                    continue
+                key, blob, app = item  # a poison item kills the worker
+                start = time.perf_counter()
+                try:
+                    if self._tracer.enabled:
+                        attrs = {"key": key, "bytes": len(blob)}
+                        if app is not None:
+                            attrs["app"] = app
+                        with self._tracer.span("upload", **attrs):
+                            self._upload_one(key, blob)
+                    else:
                         self._upload_one(key, blob)
-                else:
-                    self._upload_one(key, blob)
-            except BaseException as exc:  # propagate on drain/close
-                self._error = exc
-            finally:
-                self.busy_seconds += time.perf_counter() - start
-                self._queue.task_done()
+                except BaseException as exc:  # propagate on drain/close
+                    self._error = exc
+                finally:
+                    self.busy_seconds += time.perf_counter() - start
+                    self._finish_one()
+        finally:
+            # Dying (sentinel or unexpected exception) wakes any waiter
+            # so drain/close notice the liveness change promptly.
+            with self._cond:
+                self._cond.notify_all()
+
+    def _dead(self) -> BackupError:
+        err = BackupError("pipelined upload worker died")
+        err.__cause__ = self._error
+        return err
 
     @property
     def queue_depth(self) -> int:
@@ -165,21 +195,50 @@ class _PipelinedUploader:
         """Enqueue an upload (blocks when the pipeline is full)."""
         if self._error is not None:
             raise BackupError("pipelined upload failed") from self._error
-        self._queue.put((key, blob, app))
+        with self._cond:
+            self._outstanding += 1
+        while True:
+            if not self._thread.is_alive():
+                self._finish_one()
+                raise self._dead()
+            try:
+                self._queue.put((key, blob, app), timeout=0.1)
+                return
+            except queue.Full:
+                continue
 
     def drain(self) -> None:
         """Wait for all queued uploads; re-raise any worker error."""
-        self._queue.join()
+        with self._cond:
+            while self._outstanding > 0:
+                if not self._thread.is_alive():
+                    break
+                self._cond.wait(0.1)
+            stranded = self._outstanding
         if self._error is not None:
             raise BackupError("pipelined upload failed") from self._error
+        if stranded > 0:
+            raise self._dead()
 
     def close(self) -> None:
         """Stop and join the worker thread, then surface any error."""
-        self._queue.join()
-        self._queue.put(None)
-        self._thread.join()
+        pending: Optional[BaseException] = None
+        try:
+            self.drain()
+        except BackupError as exc:
+            pending = exc
+        if self._thread.is_alive():
+            try:
+                self._queue.put(None, timeout=5.0)
+            except queue.Full:
+                pass  # worker died with a full queue; join below
+        self._thread.join(timeout=10.0)
+        if pending is not None:
+            raise pending
         if self._error is not None:
             raise BackupError("pipelined upload failed") from self._error
+        if self._thread.is_alive():
+            raise BackupError("pipelined upload worker failed to stop")
 
 
 class BackupClient:
@@ -221,6 +280,7 @@ class BackupClient:
         self._prev_manifest: Optional[Manifest] = None
         self._next_session = 0
         self._chunkers: Dict[tuple, Chunker] = {}
+        self._chunkers_lock = threading.Lock()
         #: SAM-style file-level tier: whole-file fingerprint -> recipe.
         self._file_tier: Dict[bytes, list] = {}
         self._uploader: Optional[_PipelinedUploader] = None
@@ -266,6 +326,10 @@ class BackupClient:
                                 if first_container_id is not None
                                 else self._resume_container_id()),
             tracer=self.tracer,
+            # Sealing (serialize + pad) moves off the commit thread only
+            # in pipelined mode; the paper-faithful serial schemes keep
+            # synchronous sealing so their accounting is unperturbed.
+            pack_async=self.config.pipeline_uploads,
         ) if self.config.use_containers else None
 
     def _resume_container_id(self) -> int:
@@ -349,8 +413,13 @@ class BackupClient:
         key = (policy.chunker, tuple(sorted(policy.chunker_params.items())))
         chunker = self._chunkers.get(key)
         if chunker is None:
-            chunker = self._chunkers[key] = policy.make_chunker()
-            chunker.tracer = self.tracer
+            # Pipelined chunk-stage workers race on first use of a
+            # policy; chunkers themselves are stateless per call.
+            with self._chunkers_lock:
+                chunker = self._chunkers.get(key)
+                if chunker is None:
+                    chunker = self._chunkers[key] = policy.make_chunker()
+                    chunker.tracer = self.tracer
         return chunker
 
     # ------------------------------------------------------------------
@@ -381,6 +450,8 @@ class BackupClient:
         self.index.reset_stats()
         puts_before = self.cloud.stats.put_requests
         up_before = self.cloud.stats.bytes_uploaded
+        pack_before = (self._containers.pack_busy_seconds
+                       if self._containers is not None else 0.0)
         self._upload_watch = ConcurrentStopwatch()
         self._statcache_begin(stats)
         self._journal = self._open_journal(session_id) \
@@ -389,6 +460,7 @@ class BackupClient:
             journal = self._journal
             self._uploader = _PipelinedUploader(
                 self._cloud_put,
+                depth=cfg.upload_queue_depth,
                 on_success=(journal.record if journal is not None
                             else None),
                 tracer=self.tracer)
@@ -415,6 +487,13 @@ class BackupClient:
                     uploader.close()
                 finally:
                     stats.upload_wall_seconds = uploader.busy_seconds
+                    stats.stage_busy_seconds["upload"] = \
+                        uploader.busy_seconds
+                    if self._containers is not None:
+                        pack = (self._containers.pack_busy_seconds
+                                - pack_before)
+                        if pack > 0:
+                            stats.stage_busy_seconds["pack"] = pack
             else:
                 stats.upload_wall_seconds = self._upload_watch.elapsed
             if self._journal is not None:
@@ -469,45 +548,58 @@ class BackupClient:
     def _backup_parallel(self, source: Iterable[SourceFile],
                          stats: SessionStats, manifest: Manifest,
                          session_id: int) -> None:
-        """Parallel preparation, deterministic serial placement.
+        """Pipelined stages feeding a deterministic serial commit.
 
-        Worker threads run the CPU half of the pipeline — read, chunk,
-        seal, fingerprint (:meth:`_prepare_file`) — which touches no
-        shared dedup state.  The coordinator then drains the prepared
-        files **strictly in source order** and performs all placement
-        (index probes, container appends, the delta stage) itself, so
+        The CPU half of the session runs as three explicit stages —
+        read → chunk → hash — each with its own worker pool, connected
+        by bounded queues (:class:`~repro.core.pipeline.StagePipeline`);
+        a full queue blocks the upstream stage, so backpressure bounds
+        resident payloads.  None of the stages touches shared dedup
+        state.  The coordinator drains completed files **strictly in
+        source order** and performs all placement (index probes,
+        container appends, the delta stage, manifest append) itself, so
         container ids and offsets — and therefore manifest bytes — are
-        identical to a serial run of the same source.  The earlier
-        design let each worker place its own application group, which
-        interleaved container-id allocation nondeterministically and
-        made manifests differ between ``parallel_workers=1`` and ``>1``.
+        identical to a serial run of the same source (the PR 5
+        guarantee; see docs/PIPELINE.md).  Container sealing and WAN
+        upload continue downstream of the commit on their own threads
+        when ``pipeline_uploads`` is on.
 
         A bounded submission window keeps at most a few prepared
-        payloads resident; stat-cache matches skip preparation entirely
-        and replay at drain time.
+        payloads resident; stat-cache matches skip the stages entirely
+        and replay at drain time.  On any error the stages are aborted
+        — queued items are dropped, not prepared — so a failed session
+        stops promptly instead of grinding through a doomed window.
         """
         from collections import deque
-        from concurrent.futures import ThreadPoolExecutor
 
         cache = self._filecache
         tracer = self.tracer
+        workers = self.config.stage_workers()
+        depth = self.config.resolved_queue_depth()
 
-        def prepare(sf: SourceFile, app) -> tuple:
-            local = SessionStats(session_id=session_id,
-                                 scheme=self.config.name)
-            if not tracer.enabled:
-                return self._prepare_file(sf, app, local), local
-            with tracer.span("file", app=app.label,
-                             category=app.category.value, bytes=sf.size):
-                return self._prepare_file(sf, app, local), local
+        def run_read(item: WorkItem) -> None:
+            item.data = self._read_file(item.sf, item.app, item.local)
 
-        window = max(4, 2 * self.config.parallel_workers)
+        def run_chunk(item: WorkItem) -> None:
+            item.prep = self._chunk_file(item.sf, item.app, item.data,
+                                         item.local)
+            item.data = None
+
+        def run_hash(item: WorkItem) -> None:
+            self._hash_prepared(item.prep, item.local)
+
+        pipeline = StagePipeline([
+            ("read", run_read, workers["read"], depth),
+            ("chunk", run_chunk, workers["chunk"], depth),
+            ("hash", run_hash, workers["hash"], depth),
+        ])
+        commit_watch = Stopwatch()
+        window = max(4, 2 * sum(workers.values()))
         pending: deque = deque()
         source_iter = iter(source)
         exhausted = False
-        with ThreadPoolExecutor(
-                max_workers=self.config.parallel_workers,
-                thread_name_prefix="aa-dedup") as pool:
+        seq = 0
+        try:
             while True:
                 while not exhausted and len(pending) < window:
                     try:
@@ -519,36 +611,63 @@ class BackupClient:
                     if (cache is not None and self._replay_enabled
                             and cache.match(app.label, sf.path, sf.size,
                                             sf.mtime_ns) is not None):
-                        pending.append((sf, app, None))
+                        pending.append(WorkItem(seq, sf, app,
+                                                replay=True))
                     else:
-                        pending.append((sf, app,
-                                        pool.submit(prepare, sf, app)))
+                        item = WorkItem(seq, sf, app,
+                                        local=SessionStats(
+                                            session_id=session_id,
+                                            scheme=self.config.name))
+                        pipeline.submit(item)
+                        pending.append(item)
+                    seq += 1
                 if not pending:
                     break
-                sf, app, future = pending.popleft()
-                stats.files_total += 1
-                stats.bytes_scanned += sf.size
-                unique_before = stats.bytes_unique
-                if future is None:
-                    entry = self._replay_cached(sf, app, stats)
-                    if entry is None:  # went stale since submission
-                        entry = self._process_fresh(sf, app, stats,
-                                                    session_id)
-                else:
-                    prep, local = future.result()
-                    stats.ops.merge(local.ops)
-                    if tracer.enabled:
-                        self._app_ctx.label = app.label
-                    try:
-                        entry = self._place_prepared(prep, stats)
-                    finally:
+                item = pending.popleft()
+                sf, app = item.sf, item.app
+                if not item.replay:
+                    pipeline.wait(item)
+                commit_watch.start()
+                try:
+                    stats.files_total += 1
+                    stats.bytes_scanned += sf.size
+                    unique_before = stats.bytes_unique
+                    if item.replay:
+                        entry = self._replay_cached(sf, app, stats)
+                        if entry is None:  # went stale since submission
+                            entry = self._process_fresh(sf, app, stats,
+                                                        session_id)
+                    else:
+                        # Fold the item's whole local stats — ops AND
+                        # warnings/degradations recorded by the stages.
+                        stats.merge(item.local)
                         if tracer.enabled:
-                            self._app_ctx.label = None
-                stats.note_app(app.label, sf.size,
-                               stats.bytes_unique - unique_before)
-                manifest.add(entry)
-                if cache is not None:
-                    cache.record(entry)
+                            self._app_ctx.label = app.label
+                        try:
+                            entry = self._place_prepared(item.prep, stats)
+                        finally:
+                            if tracer.enabled:
+                                self._app_ctx.label = None
+                    stats.note_app(app.label, sf.size,
+                                   stats.bytes_unique - unique_before)
+                    manifest.add(entry)
+                    if cache is not None:
+                        cache.record(entry)
+                finally:
+                    commit_watch.stop()
+        except BaseException:
+            try:
+                pipeline.shutdown(abort=True)
+            finally:
+                raise
+        else:
+            pipeline.shutdown()
+        finally:
+            busy = stats.stage_busy_seconds
+            for name, seconds in pipeline.busy_seconds().items():
+                busy[name] = busy.get(name, 0.0) + seconds
+            busy["commit"] = (busy.get("commit", 0.0)
+                              + commit_watch.elapsed)
 
     # ------------------------------------------------------------------
     def _process_file(self, sf: SourceFile, stats: SessionStats,
@@ -608,22 +727,46 @@ class BackupClient:
 
         Touches no shared dedup state (index, containers, file tier,
         delta stage), so it is safe on any thread; all side effects are
-        charged to the caller's ``stats``.
+        charged to the caller's ``stats``.  The pipelined engine runs
+        the same three stages on separate worker pools
+        (:meth:`_read_file` → :meth:`_chunk_file` →
+        :meth:`_hash_prepared`); this composition is the serial path.
+        """
+        data = self._read_file(sf, app, stats)
+        prep = self._chunk_file(sf, app, data, stats)
+        self._hash_prepared(prep, stats)
+        return prep
+
+    def _read_file(self, sf: SourceFile, app,
+                   stats: SessionStats) -> bytes:
+        """Read stage: pull the file's bytes off the source device."""
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("read", app=app.label, bytes=sf.size):
+                data = sf.read()
+        else:
+            data = sf.read()
+        stats.ops.read_bytes += len(data)
+        if len(data) != sf.size:
+            stats.warnings.append(
+                f"{sf.path}: size changed during read "
+                f"(metadata {sf.size}, read {len(data)} bytes)")
+        return data
+
+    def _chunk_file(self, sf: SourceFile, app, data: bytes,
+                    stats: SessionStats) -> _PreparedFile:
+        """Chunk stage: tiny-file filter, file-tier probe prep, boundary
+        scan.  Output (``prep.raw``) awaits the hash stage.
         """
         cfg = self.config
         tracer = self.tracer
-        data = sf.read()
-        stats.ops.read_bytes += len(data)
         prep = _PreparedFile(sf, app)
 
-        # 1. File size filter (Observation 1): tiny files bypass dedup.
+        # 1. File size filter (Observation 1): tiny files bypass dedup;
+        # the whole file is the single "chunk" the hash stage seals.
         if sf.size < cfg.tiny_file_threshold:
             prep.tiny = True
-            if sf.size:
-                payload, key = self._seal(data)
-                fp = self._fingerprint(get_hash("sha1"), "sha1", payload,
-                                       len(payload), app.label, stats)
-                prep.chunks.append((fp, payload, key, len(payload)))
+            prep.raw = [data] if sf.size else []
             return prep
 
         # 2. Optional file-level tier (SAM): whole-file fingerprint for
@@ -644,28 +787,46 @@ class BackupClient:
             if self._file_tier.get(prep.file_fp) is not None:
                 return prep
 
-        # 3. Intelligent chunking + per-chunk fingerprints.
+        # 3. Intelligent chunking (the boundary scan).
         chunker = self._chunker_for(policy)
-        hasher = policy.fingerprinter()
         if isinstance(chunker, ContentDefinedChunker):
             stats.ops.cdc_scanned_bytes += len(data)
         if tracer.enabled:
             with tracer.span("chunk", app=app.label,
                              chunker=policy.chunker, bytes=len(data)):
-                chunks = chunker.chunk(data)
+                prep.raw = chunker.chunk(data)
         else:
-            chunks = chunker.chunk(data)
-        for chunk in chunks:
+            prep.raw = chunker.chunk(data)
+        return prep
+
+    def _hash_prepared(self, prep: _PreparedFile,
+                       stats: SessionStats) -> None:
+        """Hash stage: seal + fingerprint every chunk of ``prep.raw``."""
+        tracer = self.tracer
+        app_label = prep.app.label
+        if prep.tiny:
+            for data in prep.raw or ():
+                payload, key = self._seal(data)
+                fp = self._fingerprint(get_hash("sha1"), "sha1", payload,
+                                       len(payload), app_label, stats)
+                prep.chunks.append((fp, payload, key, len(payload)))
+            prep.raw = None
+            return
+        if prep.raw is None:  # file-tier peek hit: nothing to hash
+            return
+        policy = prep.policy
+        hasher = policy.fingerprinter()
+        for chunk in prep.raw:
             payload, key = self._seal(chunk.data)
             fp = self._fingerprint(hasher, policy.hash_name, payload,
-                                   chunk.length, app.label, stats)
+                                   chunk.length, app_label, stats)
             stats.ops.chunks_produced += 1
             if tracer.enabled:
                 tracer.metrics.histogram(
                     "chunk_bytes",
                     CHUNK_SIZE_BUCKETS).observe(chunk.length)
             prep.chunks.append((fp, payload, key, chunk.length))
-        return prep
+        prep.raw = None
 
     def _place_prepared(self, prep: _PreparedFile,
                         stats: SessionStats) -> FileEntry:
@@ -1115,6 +1276,6 @@ class BackupClient:
     def close(self) -> None:
         """Flush containers/index and release resources."""
         if self._containers is not None:
-            self._containers.flush()
+            self._containers.close()
         self.index.flush()
         self.index.close()

@@ -78,6 +78,25 @@ class SchemeConfig:
     #: workers in the real engine; requires a non-incremental scheme.
     parallel_workers: int = 1
 
+    #: Per-stage worker counts for the pipelined parallel engine
+    #: (read → chunk → hash stages; see docs/PIPELINE.md).  0 means
+    #: auto: reads get ``min(2, parallel_workers)`` workers (a personal
+    #: computer's disk rarely rewards deeper read concurrency), chunk
+    #: and hash each get ``parallel_workers``.  Only consulted when
+    #: ``parallel_workers > 1``.
+    read_workers: int = 0
+    chunk_workers: int = 0
+    hash_workers: int = 0
+
+    #: Capacity of each inter-stage hand-off queue (0 = auto: twice the
+    #: widest stage).  A full queue blocks the upstream stage — this is
+    #: the backpressure bound on resident prepared payloads.
+    stage_queue_depth: int = 0
+
+    #: Capacity of the pipelined uploader's queue (sealed containers /
+    #: blobs awaiting WAN transfer).
+    upload_queue_depth: int = 4
+
     #: Convergent encryption (secure dedup — the paper's future work):
     #: chunks are encrypted under content-derived keys before
     #: fingerprinting/storage, keys are wrapped into the recipes.  The
@@ -156,6 +175,13 @@ class SchemeConfig:
             raise ConfigError(
                 "parallel dedup requires the application-aware index "
                 "layout (workers must own disjoint subindices)")
+        if (self.read_workers < 0 or self.chunk_workers < 0
+                or self.hash_workers < 0):
+            raise ConfigError("per-stage worker counts must be >= 0")
+        if self.stage_queue_depth < 0:
+            raise ConfigError("stage_queue_depth must be >= 0")
+        if self.upload_queue_depth < 1:
+            raise ConfigError("upload_queue_depth must be >= 1")
         if not self.incremental_only:
             if (self.policy_table is None) == (self.fixed_policy is None):
                 raise ConfigError(
@@ -215,6 +241,26 @@ class SchemeConfig:
         if self.index_layout == "tier":
             return policy.chunker
         return "global"
+
+    def stage_workers(self) -> Mapping[str, int]:
+        """Resolved worker count per pipelined stage (auto = 0 filled).
+
+        ``parallel_workers`` remains the single headline knob: by
+        default the chunk and hash stages each get that many workers
+        while reads stay at ``min(2, parallel_workers)``.
+        """
+        base = self.parallel_workers
+        return {
+            "read": self.read_workers or min(2, base),
+            "chunk": self.chunk_workers or base,
+            "hash": self.hash_workers or base,
+        }
+
+    def resolved_queue_depth(self) -> int:
+        """Inter-stage queue capacity with the auto default applied."""
+        if self.stage_queue_depth:
+            return self.stage_queue_depth
+        return 2 * max(self.stage_workers().values())
 
     def with_(self, **changes) -> "SchemeConfig":
         """Return a modified copy (convenience for ablation sweeps)."""

@@ -132,6 +132,11 @@ class SessionStats:
     # -- measured wall time (real engine only; simulators use cpumodel) --
     dedup_wall_seconds: float = 0.0
     upload_wall_seconds: float = 0.0
+    #: Pipelined engine only: accumulated worker busy seconds per stage
+    #: ("read"/"chunk"/"hash"/"commit"/"upload").  Busy times sum past
+    #: the session wall time exactly when stages overlapped — the
+    #: paper's pipelining claim made measurable.
+    stage_busy_seconds: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -166,6 +171,9 @@ class SessionStats:
         self.resume_skipped_bytes += other.resume_skipped_bytes
         self.warnings.extend(other.warnings)
         self.ops.merge(other.ops)
+        for stage, seconds in other.stage_busy_seconds.items():
+            self.stage_busy_seconds[stage] = (
+                self.stage_busy_seconds.get(stage, 0.0) + seconds)
         for app, n in other.app_scanned.items():
             self.app_scanned[app] = self.app_scanned.get(app, 0) + n
         for app, n in other.app_unique.items():

@@ -352,23 +352,27 @@ class FleetService:
             raise SimulationError(
                 "all clients must run the same number of sessions")
         n_rounds = rounds.pop() if rounds else 0
+        # One pool for the whole run: spinning a fresh executor up and
+        # down per wave serialised thread start/join into every barrier,
+        # so rounds stopped scaling with ``max_workers``.  The wave
+        # barrier itself (result() then epoch commit) is unchanged.
         with self.tracer.span("fleet.run", clients=len(self.clients),
-                              rounds=n_rounds):
+                              rounds=n_rounds), \
+                ThreadPoolExecutor(max_workers=max(1, max_workers),
+                                   thread_name_prefix="fleet") as pool:
             for round_no in range(n_rounds):
                 for wave in range(self.waves):
                     members = [c for c in self.clients
                                if c.rank % self.waves == wave]
                     if not members:
                         continue
-                    with ThreadPoolExecutor(
-                            max_workers=max(1, max_workers)) as pool:
-                        futures = [
-                            pool.submit(self._run_session, client,
-                                        sources[client.rank][round_no])
-                            for client in members
-                        ]
-                        for future in futures:
-                            future.result()
+                    futures = [
+                        pool.submit(self._run_session, client,
+                                    sources[client.rank][round_no])
+                        for client in members
+                    ]
+                    for future in futures:
+                        future.result()
                     self._entries_committed += self.directory.commit_epoch()
                     self._epochs_committed += 1
         if self.tracer.enabled:

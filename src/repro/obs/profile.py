@@ -24,13 +24,14 @@ from repro.metrics.report import Table
 from repro.obs.tracer import Span
 
 __all__ = ["StageRow", "stage_breakdown", "render_profile",
-           "stage_group"]
+           "stage_group", "overlap_seconds"]
 
 #: Span names that define the profiling window when present.
 _ROOT_NAMES = ("session", "restore")
 
 #: Ordered (prefix -> canonical stage) mapping for per-app aggregation.
 _STAGE_GROUPS = (
+    ("read", "read"),
     ("chunk", "chunk"),
     ("hash", "hash"),
     ("statcache", "statcache"),
@@ -42,6 +43,11 @@ _STAGE_GROUPS = (
     ("container", "container"),
     ("durability", "durability"),
 )
+
+#: Canonical stage order for the occupancy table (pipeline order).
+_OCCUPANCY_ORDER = ("read", "chunk", "hash", "statcache", "index",
+                    "delta", "container", "transfer", "durability",
+                    "other")
 
 
 def stage_group(name: str) -> str:
@@ -80,6 +86,24 @@ class Profile:
     #: profile shows which chunker burned the scan time and at what
     #: throughput (the fast-chunker family makes this a real choice).
     chunkers: Dict[str, StageRow] = field(default_factory=dict)
+    #: Canonical stage -> merged busy intervals (self time only, so a
+    #: sync ``upload`` nested inside ``container.seal`` never fakes
+    #: cross-stage overlap).  Input for the occupancy table.
+    stage_intervals: Dict[str, List[tuple]] = field(default_factory=dict)
+
+    def stage_busy(self, stage: str) -> float:
+        """Total busy seconds of one canonical stage."""
+        return sum(e - s for s, e in self.stage_intervals.get(stage, ()))
+
+    def stage_concurrency(self, stage: str) -> float:
+        """Seconds this stage was busy while *any other* stage was too —
+        the overlap the paper's pipelining claim is about."""
+        others: List[tuple] = []
+        for name, intervals in self.stage_intervals.items():
+            if name != stage:
+                others.extend(intervals)
+        return overlap_seconds(self.stage_intervals.get(stage, ()),
+                               _merge_intervals(others))
 
 
 def _self_times(spans: Sequence[Span]) -> Dict[int, float]:
@@ -90,6 +114,54 @@ def _self_times(spans: Sequence[Span]) -> Dict[int, float]:
             child_time[span.parent_id] += span.duration
     return {span.span_id: span.duration - child_time[span.span_id]
             for span in spans}
+
+
+def _merge_intervals(intervals) -> List[tuple]:
+    """Union of (start, end) intervals as a sorted disjoint list."""
+    merged: List[tuple] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _subtract_intervals(start: float, end: float,
+                        blockers: Sequence[tuple]) -> List[tuple]:
+    """``[start, end)`` minus a merged-sorted list of blockers."""
+    out: List[tuple] = []
+    cursor = start
+    for b_start, b_end in blockers:
+        if b_end <= cursor:
+            continue
+        if b_start >= end:
+            break
+        if b_start > cursor:
+            out.append((cursor, min(b_start, end)))
+        cursor = max(cursor, b_end)
+        if cursor >= end:
+            break
+    if cursor < end:
+        out.append((cursor, end))
+    return out
+
+
+def overlap_seconds(a: Sequence[tuple], b: Sequence[tuple]) -> float:
+    """Measure of the intersection of two merged interval lists."""
+    i = j = 0
+    total = 0.0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if end > start:
+            total += end - start
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
 
 
 def stage_breakdown(spans: Sequence[Span]) -> Profile:
@@ -132,6 +204,10 @@ def stage_breakdown(spans: Sequence[Span]) -> Profile:
 
     selves = _self_times(spans)
     by_id = {span.span_id: span for span in spans}
+    child_spans: Dict[int, List[Span]] = defaultdict(list)
+    for span in spans:
+        if span.parent_id is not None:
+            child_spans[span.parent_id].append(span)
 
     def app_of(span: Span) -> object:
         # A span belongs to the app of its nearest ancestor that names
@@ -165,6 +241,19 @@ def stage_breakdown(spans: Sequence[Span]) -> Profile:
             per_app = profile.apps.setdefault(app, defaultdict(float))
             per_app[stage_group(span.name)] += selves[span.span_id]
 
+        # Occupancy: each span contributes its *self* intervals — its
+        # extent minus direct children — to its canonical stage, so a
+        # span nested under a different stage's span never double-books
+        # the same wall time against both stages.
+        if span.name not in _ROOT_NAMES:
+            kids = _merge_intervals(
+                (c.start, c.end)
+                for c in child_spans.get(span.span_id, ()))
+            own = _subtract_intervals(span.start, span.end, kids)
+            if own:
+                profile.stage_intervals.setdefault(
+                    stage_group(span.name), []).extend(own)
+
         if span.name == "chunk.cut":
             engine = span.attrs.get("chunker")
             if isinstance(engine, str):
@@ -176,11 +265,13 @@ def stage_breakdown(spans: Sequence[Span]) -> Profile:
                 crow.self_seconds += selves[span.span_id]
                 if isinstance(nbytes, (int, float)):
                     crow.bytes += int(nbytes)
+    for stage, intervals in profile.stage_intervals.items():
+        profile.stage_intervals[stage] = _merge_intervals(intervals)
     return profile
 
 
-_APP_COLUMNS = ("chunk", "hash", "statcache", "index", "container",
-                "transfer", "other")
+_APP_COLUMNS = ("read", "chunk", "hash", "statcache", "index",
+                "container", "transfer", "other")
 
 
 def render_profile(spans: Sequence[Span]) -> str:
@@ -223,6 +314,26 @@ def render_profile(spans: Sequence[Span]) -> str:
                                f"{row.total_seconds:.6f}",
                                f"{rate:.1f}"])
         sections.append(cut_table.render())
+
+    if profile.stage_intervals:
+        occ_table = Table(
+            ["stage", "busy s", "busy %", "concurrent s", "concurrent %"],
+            title="Stage occupancy (self-interval unions per canonical "
+                  "stage; 'concurrent' = busy while any other stage was "
+                  "busy — the pipelining overlap)")
+        known = set(_OCCUPANCY_ORDER)
+        ordered_stages = [s for s in _OCCUPANCY_ORDER
+                          if s in profile.stage_intervals]
+        ordered_stages += sorted(s for s in profile.stage_intervals
+                                 if s not in known)
+        for stage in ordered_stages:
+            busy = profile.stage_busy(stage)
+            concurrent = profile.stage_concurrency(stage)
+            occ_table.add_row([
+                stage, f"{busy:.6f}", share(busy),
+                f"{concurrent:.6f}",
+                f"{100.0 * concurrent / busy:.1f}%" if busy > 0 else "-"])
+        sections.append(occ_table.render())
 
     if profile.apps:
         app_table = Table(["app"] + [f"{c} %" for c in _APP_COLUMNS]

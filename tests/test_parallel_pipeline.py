@@ -1,5 +1,9 @@
 """Tests for parallel per-application dedup and the pipeline simulator."""
 
+import os
+import random
+import time
+
 import pytest
 
 from repro.cloud import InMemoryBackend, SimulatedCloud
@@ -9,8 +13,11 @@ from repro.core import (
     aa_dedupe_config,
 )
 from repro.core import naming
+from repro.core.backup import _PipelinedUploader
+from repro.core.pipeline import PipelineAborted, StagePipeline, WorkItem
+from repro.core.source import SourceFile
 from repro.simulate.clock import VirtualClock
-from repro.errors import ConfigError
+from repro.errors import BackupError, ConfigError
 from repro.simulate.pipeline import backup_window, simulate_two_stage_pipeline
 from repro.util.units import KIB, MB
 from repro.workloads import (
@@ -49,21 +56,34 @@ class TestParallelDedup:
         assert p_stats.app_unique == s_stats.app_unique
         assert parallel.index.sizes() == serial.index.sizes()
 
-    @pytest.mark.parametrize("workers", [2, 4, 7])
-    def test_manifest_bytes_identical_to_serial(self, snapshot, workers):
+    @pytest.mark.parametrize("arm", ["plain", "statcache", "delta"])
+    @pytest.mark.parametrize("workers", [2, 7])
+    def test_manifest_bytes_identical_to_serial(self, snapshot, workers,
+                                                arm):
         # Regression: parallel placement used to interleave container-id
         # and offset allocation across worker threads, so the refs in
         # the manifest — and hence its bytes — differed from a serial
         # run of the same source.  Placement is now serial in source
         # order; a virtual clock removes the only other source of
-        # nondeterminism (the created-at stamp).
+        # nondeterminism (the created-at stamp).  The "statcache" arm
+        # re-backs-up the same snapshot so session 1 exercises the
+        # recipe-replay path inside the staged pipeline; the "delta"
+        # arm adds similarity + delta compression in the commit stage.
         def manifest_bytes(n_workers):
+            kwargs = dict(container_size=64 * KIB,
+                          parallel_workers=n_workers)
+            if arm == "statcache":
+                kwargs["stat_cache"] = True
+            elif arm == "delta":
+                kwargs["delta_compress"] = True
             cloud = SimulatedCloud(InMemoryBackend(), clock=VirtualClock())
-            client = BackupClient(cloud, aa_dedupe_config(
-                container_size=64 * KIB, parallel_workers=n_workers))
+            client = BackupClient(cloud, aa_dedupe_config(**kwargs))
             client.backup(snapshot_to_memory_source(snapshot))
+            if arm == "statcache":
+                client.backup(snapshot_to_memory_source(snapshot))
             client.close()
-            return cloud.get(naming.manifest_key(0))
+            session = 1 if arm == "statcache" else 0
+            return cloud.get(naming.manifest_key(session))
 
         assert manifest_bytes(workers) == manifest_bytes(1)
 
@@ -108,6 +128,191 @@ class TestParallelDedup:
         with pytest.raises(ConfigError):
             sam_config(parallel_workers=2, file_level_first=True,
                        index_layout="app")
+
+
+class TestPipelineBugfixes:
+    """Regression tests for the parallel-path bugs fixed by the staged
+    pipeline refactor (see docs/PIPELINE.md)."""
+
+    def test_prepare_stage_warnings_surface(self):
+        # Bugfix 1: the old parallel drain merged only `local.ops`, so
+        # a warning recorded on the prepare side (here: file size
+        # changing between stat and read) vanished from session stats.
+        payload = os.urandom(32 * KIB)
+        files = [
+            SourceFile(path="docs/report.doc", size=64 * KIB,
+                       mtime_ns=0, reader=lambda: payload),
+            SourceFile(path="docs/other.doc", size=32 * KIB,
+                       mtime_ns=0, reader=lambda: payload),
+        ]
+        client = BackupClient(InMemoryBackend(), aa_dedupe_config(
+            container_size=64 * KIB, parallel_workers=3))
+        stats = client.backup(files)
+        client.close()
+        assert any("size changed during read" in w
+                   for w in stats.warnings), stats.warnings
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_uploader_poison_item_raises_instead_of_hanging(self):
+        # Bugfix 2: drain()/close() used queue.join(); a worker thread
+        # killed by a malformed queue item never called task_done(), so
+        # the session hung forever.  The outstanding-counter + liveness
+        # guard turns that into a prompt BackupError.
+        uploader = _PipelinedUploader(lambda key, blob: None, depth=4)
+        uploader._queue.put(object())  # poison: kills the worker thread
+        start = time.monotonic()
+        with pytest.raises(BackupError):
+            # Real work behind the poison is stranded: either submit
+            # notices the dead worker or close() reports the stranded
+            # item — both must raise rather than hang.
+            uploader.submit("containers/c-000000", b"payload")
+            uploader.close()
+        assert time.monotonic() - start < 8.0
+
+    def test_uploader_error_drops_queued_work(self):
+        # Fail-fast: after the first failed upload nothing else is
+        # uploaded and the error resurfaces on close().
+        seen = []
+
+        def put(key, blob):
+            if key == "bad":
+                raise IOError("backend exploded")
+            seen.append(key)
+
+        uploader = _PipelinedUploader(put, depth=8)
+        uploader.submit("ok-1", b"x")
+        uploader.submit("bad", b"x")
+        deadline = time.monotonic() + 5.0
+        with pytest.raises(BackupError):
+            while time.monotonic() < deadline:
+                uploader.submit("late", b"x")
+                time.sleep(0.01)
+            uploader.close()
+        assert "late" not in seen
+
+    def test_placement_error_aborts_stages_promptly(self, monkeypatch):
+        # Bugfix 3: a placement (commit) error used to let the stage
+        # pool grind through the entire submission window before the
+        # session failed.  shutdown(abort=True) now drops queued items,
+        # so only the in-flight window gets chunked.
+        rng = random.Random(7)
+        n_files = 60
+        files = [
+            SourceFile(path=f"docs/file-{i:03d}.doc", size=16 * KIB,
+                       mtime_ns=0,
+                       reader=lambda seed=rng.getrandbits(64):
+                       random.Random(seed).randbytes(16 * KIB))
+            for i in range(n_files)
+        ]
+
+        chunk_calls = []
+        orig_chunk = BackupClient._chunk_file
+
+        def slow_chunk(self, sf, app, data, stats):
+            chunk_calls.append(sf.path)
+            time.sleep(0.02)
+            return orig_chunk(self, sf, app, data, stats)
+
+        def bad_place(self, prep, stats):
+            raise RuntimeError("placement exploded")
+
+        monkeypatch.setattr(BackupClient, "_chunk_file", slow_chunk)
+        monkeypatch.setattr(BackupClient, "_place_prepared", bad_place)
+        config = aa_dedupe_config(container_size=64 * KIB,
+                                  parallel_workers=4)
+        client = BackupClient(InMemoryBackend(), config)
+        with pytest.raises(RuntimeError, match="placement exploded"):
+            client.backup(files)
+        # At most one submission window of files can ever enter the
+        # stages before the first commit fails; the abort must drop the
+        # still-queued part of that window, so strictly fewer than
+        # `window` files get chunked (the old engine ground through all
+        # of them — and without the window, through every file).
+        window = max(4, 2 * sum(config.stage_workers().values()))
+        assert window < n_files
+        assert len(chunk_calls) < window, (
+            f"{len(chunk_calls)} of {n_files} files chunked after abort "
+            f"(window {window})")
+
+
+class TestStagePipeline:
+    """Unit tests for the bounded-queue stage machinery itself."""
+
+    @staticmethod
+    def _item(seq):
+        return WorkItem(seq, None, None, local=None)
+
+    def test_items_flow_through_stages(self):
+        order = []
+
+        def double(item):
+            item.data = item.seq * 2
+
+        def stash(item):
+            order.append(item.seq)
+
+        pipeline = StagePipeline([
+            ("double", double, 2, 4),
+            ("stash", stash, 1, 4),
+        ])
+        items = [self._item(i) for i in range(10)]
+        for item in items:
+            pipeline.submit(item)
+        for item in items:
+            pipeline.wait(item)
+        pipeline.shutdown()
+        assert [item.data for item in items] == [i * 2 for i in range(10)]
+        assert sorted(order) == list(range(10))
+        assert pipeline.items_processed() == {"double": 10, "stash": 10}
+        assert set(pipeline.busy_seconds()) == {"double", "stash"}
+
+    def test_stage_error_fails_only_its_item(self):
+        def maybe_boom(item):
+            if item.seq == 1:
+                raise ValueError("bad item")
+
+        pipeline = StagePipeline([("work", maybe_boom, 2, 4)])
+        items = [self._item(i) for i in range(3)]
+        for item in items:
+            pipeline.submit(item)
+        pipeline.wait(items[0])
+        pipeline.wait(items[2])
+        with pytest.raises(ValueError, match="bad item"):
+            pipeline.wait(items[1])
+        pipeline.shutdown()
+
+    def test_abort_drops_queued_items(self):
+        release = time.monotonic() + 0.2
+
+        def slow(item):
+            while time.monotonic() < release:
+                time.sleep(0.01)
+
+        pipeline = StagePipeline([("slow", slow, 1, 32)])
+        items = [self._item(i) for i in range(8)]
+        for item in items:
+            pipeline.submit(item)
+        pipeline.shutdown(abort=True)
+        failed = [item for item in items
+                  if isinstance(item.error, PipelineAborted)]
+        assert failed, "abort should drop still-queued items"
+        with pytest.raises(PipelineAborted):
+            pipeline.wait(failed[0])
+
+    def test_submit_after_abort_rejected(self):
+        pipeline = StagePipeline([("noop", lambda item: None, 1, 4)])
+        pipeline.shutdown(abort=True)
+        with pytest.raises(PipelineAborted):
+            pipeline.submit(self._item(0))
+
+    def test_replay_items_start_done(self):
+        item = WorkItem(0, None, None, replay=True)
+        assert item.wait(0.0)
+
+    def test_needs_at_least_one_stage(self):
+        with pytest.raises(BackupError):
+            StagePipeline([])
 
 
 class TestPipelineSimulator:

@@ -357,7 +357,11 @@ class TestPipelinedUploaderFailFast:
         up = _PipelinedUploader(
             lambda k, b: (_ for _ in ()).throw(CloudError("boom")))
         up.submit("a", b"x")
-        up._queue.join()
+        # Completion tracking is the outstanding counter (not
+        # queue.join()); wait on it until the failed upload lands.
+        with up._cond:
+            assert up._cond.wait_for(
+                lambda: up._outstanding == 0, timeout=5.0)
         with pytest.raises(BackupError):
             up.submit("b", b"x")
         with pytest.raises(BackupError):
