@@ -30,7 +30,8 @@ from repro.hashing import Fingerprinter, get_hash
 from repro.util.units import KIB
 
 __all__ = ["DedupPolicy", "AA_POLICY_TABLE", "policy_for_category",
-           "policy_for_path", "make_chunker", "cdc_policy_variant"]
+           "policy_for_path", "make_chunker", "cdc_policy_variant",
+           "retarget_policy"]
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,38 @@ def cdc_policy_variant(policy: DedupPolicy, chunker: str) -> DedupPolicy:
     params = {key: value for key, value in policy.chunker_params.items()
               if key in _CDC_GEOMETRY}
     return DedupPolicy(chunker, policy.hash_name, params)
+
+
+def retarget_policy(policy: DedupPolicy, chunker: str) -> DedupPolicy:
+    """Re-target ``policy`` at a CDC-family engine, from any chunkable base.
+
+    The per-application chunker override (``SchemeConfig.app_chunkers``)
+    needs one more case than :func:`cdc_policy_variant`: a static-chunked
+    base (e.g. the AA table's VM-image row) re-targeted at a
+    content-defined engine.  The CDC geometry is derived from the SC
+    chunk size the same way the AA table relates its DYNAMIC row to its
+    8 KiB average — ``min = avg/4``, ``max = avg*2`` — and the
+    fingerprint hash carries over unchanged, so chunk identity stays a
+    property of the digest.  WFC bases refuse: re-chunking compressed
+    content buys nothing (Observation 1), so an override there is a
+    configuration mistake, not a tuning choice.
+    """
+    if chunker not in CDC_FAMILY:
+        raise ConfigError(
+            f"unknown CDC-family chunker {chunker!r}; "
+            f"valid: {', '.join(CDC_FAMILY)}")
+    if policy.chunker in CDC_FAMILY:
+        return cdc_policy_variant(policy, chunker)
+    if policy.chunker == "sc":
+        avg = int(policy.chunker_params.get("chunk_size", 8 * KIB))
+        return DedupPolicy(chunker, policy.hash_name,
+                           {"avg_size": avg,
+                            "min_size": max(avg // 4, 64),
+                            "max_size": avg * 2})
+    raise ConfigError(
+        f"cannot re-target a {policy.chunker!r} policy at {chunker!r}: "
+        f"only CDC-family and SC bases have a content-defined stage "
+        f"to swap")
 
 
 #: The AA-Dedupe policy table — the paper's Fig. 6, as data.

@@ -15,6 +15,8 @@
     python -m repro backup  ~/Documents --store /backups/cloud \
         --profile --trace-out /tmp/backup.trace.jsonl
     python -m repro trace-profile /tmp/backup.trace.jsonl
+    python -m repro jobs run --config jobs.yaml --store /backups/cloud
+    python -m repro jobs run --config jobs.yaml --list-jobs
 
 The store is a directory-backed object store
 (:class:`repro.cloud.LocalDirectoryBackend`); clients are stateless —
@@ -203,6 +205,24 @@ def cmd_gc(args) -> int:
     ids = _session_ids(cloud)
     if args.retain is not None:
         retain = {int(s) for s in args.retain.split(",") if s}
+    elif args.retain_last is not None:
+        # Timestamp-ordered retention (the service layer's policy):
+        # newest N by manifest creation time, session id as tiebreak —
+        # robust to id gaps, unlike the positional --keep-last.
+        from repro.core.gc import session_catalog
+        from repro.core.retention import RetainLastN
+        from repro.errors import ConfigError, ReproError
+        try:
+            catalog = session_catalog(cloud)
+            retain = RetainLastN(args.retain_last).select(catalog)
+        except ConfigError as exc:
+            print(f"--retain-last: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"PROBLEM: {exc}", file=sys.stderr)
+            print("nothing deleted: session ages could not be proven",
+                  file=sys.stderr)
+            return 1
     else:
         retain = keep_last(ids, args.keep_last)
     report = collect_garbage(cloud, retain)
@@ -331,6 +351,67 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_jobs(args) -> int:
+    """Run declarative backup jobs from a YAML/JSON config.
+
+    Exit codes: 0 — every job succeeded; 1 — at least one job failed
+    (the report is still printed/written); 2 — configuration error.
+    """
+    from repro.errors import ConfigError
+    from repro.service import BackupService, load_config
+
+    try:
+        spec = load_config(args.config)
+    except ConfigError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
+    if args.list_jobs:
+        table = Table(["job", "scheme", "schedule", "retention",
+                       "hooks", "source"], title="configured jobs")
+        for job in spec.jobs:
+            schedule = (f"every {job.schedule.interval:g}s"
+                        + (f" +{job.schedule.offset:g}s"
+                           if job.schedule.offset else "")
+                        if job.schedule else "manual")
+            if job.retention is None:
+                retention = "-"
+            else:
+                retention = repr(job.retention)
+            hooks = len(job.hooks.pre) + len(job.hooks.post)
+            table.add_row([job.name, job.scheme, schedule, retention,
+                           hooks or "-", job.describe_source()])
+        print(table.render())
+        return 0
+    if not args.store:
+        print("jobs run needs --store (or --list-jobs)", file=sys.stderr)
+        return 2
+    tracer = None
+    if args.profile:
+        from repro.obs import Tracer
+        tracer = Tracer()
+    backend = LocalDirectoryBackend(args.store)
+    try:
+        service = BackupService(spec, backend=backend, tracer=tracer,
+                                jobs=args.job or None)
+    except ConfigError as exc:
+        print(f"config error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = service.run(until=args.until)
+        if args.report:
+            service.write_report(args.report)
+    finally:
+        service.close()
+    print(report.render())
+    for run in report.failed:
+        print(f"FAILED: {run.job} run {run.run_index}: {run.error}",
+              file=sys.stderr)
+    if tracer is not None:
+        from repro.obs import render_profile
+        print(render_profile(tracer.spans()))
+    return report.exit_code
+
+
 def cmd_schemes(_args) -> int:
     """List the available backup schemes."""
     table = Table(["scheme", "granularity", "index", "containers",
@@ -425,6 +506,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="retain the N most recent sessions (default 7)")
     p.add_argument("--retain", default=None,
                    help="explicit comma-separated session ids to retain")
+    p.add_argument("--retain-last", type=int, default=None, metavar="N",
+                   help="retain the N newest sessions by manifest "
+                        "creation time (the service retention policy)")
     p.set_defaults(func=cmd_gc)
 
     p = sub.add_parser("scrub", help=cmd_scrub.__doc__)
@@ -468,6 +552,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="trace the fleet run and print a stage profile")
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser("jobs", help=cmd_jobs.__doc__)
+    p.add_argument("action", nargs="?", default="run", choices=["run"],
+                   help="what to do with the configured jobs")
+    p.add_argument("--config", required=True,
+                   help="YAML (or JSON) service configuration file")
+    p.add_argument("--store", default=None,
+                   help="directory-backed object store shared by all "
+                        "jobs (required unless --list-jobs)")
+    p.add_argument("--job", action="append", metavar="NAME",
+                   help="run only this job (repeatable; default all)")
+    p.add_argument("--list-jobs", action="store_true",
+                   help="print the configured jobs and exit")
+    p.add_argument("--until", type=float, default=None, metavar="T",
+                   help="drive schedules up to virtual time T seconds "
+                        "(default: config 'until', else run each job "
+                        "once)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="also write the run report as JSON to PATH")
+    p.add_argument("--profile", action="store_true",
+                   help="trace the run and print a stage profile")
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("schemes", help=cmd_schemes.__doc__)
     p.set_defaults(func=cmd_schemes)

@@ -771,7 +771,7 @@ class BackupClient:
 
         # 2. Optional file-level tier (SAM): whole-file fingerprint for
         # the probe that placement performs.
-        policy = cfg.policy_for(app.category)
+        policy = cfg.policy_for_app(app)
         prep.policy = policy
         if cfg.file_level_first and policy.chunker != "wfc" and sf.size:
             prep.file_fp = self._fingerprint(
@@ -1046,7 +1046,7 @@ class BackupClient:
         refcount churn behind.
         """
         cfg = self.config
-        policy = cfg.policy_for(app.category)
+        policy = cfg.policy_for_app(app)
         namespace = cfg.index_namespace(app.label, policy)
         bumps = []
         for top in cached.refs:

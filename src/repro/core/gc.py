@@ -38,7 +38,7 @@ from repro.core.recipe import Manifest
 from repro.durability.policy import ReplicationPlan
 from repro.errors import ReproError
 
-__all__ = ["GCReport", "collect_garbage"]
+__all__ = ["GCReport", "collect_garbage", "session_catalog"]
 
 
 @dataclass
@@ -77,6 +77,33 @@ def _session_id_of(manifest_key: str) -> int:
     # "manifests/session-000003.json" -> 3
     stem = manifest_key.rsplit("session-", 1)[1]
     return int(stem.split(".", 1)[0])
+
+
+def session_catalog(cloud) -> Dict[int, float]:
+    """``{session_id: created_ts}`` for every manifest ``cloud`` sees.
+
+    This is the retention selection helper: the timestamp-based
+    policies (:class:`~repro.core.retention.RetainLastN`,
+    :class:`~repro.core.retention.RetainMaxAge`) select their retained
+    set from this catalog.  Called through a
+    :class:`~repro.cloud.NamespacedBackend` view it catalogues that
+    tenant's private sessions.  An unreadable manifest raises
+    :class:`~repro.errors.ReproError` — a session whose age cannot be
+    proven must never be silently classified as droppable.
+    """
+    catalog: Dict[int, float] = {}
+    for key in cloud.list(naming.MANIFEST_PREFIX):
+        try:
+            session_id = _session_id_of(key)
+        except (IndexError, ValueError):
+            continue
+        try:
+            manifest = Manifest.from_json(cloud.get(key))
+        except (ReproError, ValueError, KeyError) as exc:
+            raise ReproError(
+                f"manifest {key} unreadable: {exc}") from exc
+        catalog[session_id] = manifest.created
+    return catalog
 
 
 def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
@@ -183,6 +210,23 @@ def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
                 cloud.delete(key)
                 report.deleted_objects += 1
 
+    # --- sweep: tenant-private file/delta objects -----------------------
+    # Chunk objects and containers are fleet-shared (a tenant view maps
+    # them through verbatim), but whole-file and delta blobs live under
+    # the tenant prefix.  When the service's retention drops a tenant
+    # session, its file/delta objects become unreachable through any
+    # manifest — sweep them here so per-job retention actually frees
+    # space for file-granularity (JungleDisk-style) and delta jobs.
+    # Live entries were recorded tenant-prefixed during the mark phase.
+    _PRIVATE_SWEEP = (naming.FILE_PREFIX, naming.DELTA_PREFIX)
+    for key in list(cloud.list(naming.TENANT_PREFIX)):
+        rest = key[len(naming.TENANT_PREFIX):]
+        _ns, _, sub = rest.partition("/")
+        if any(sub.startswith(p) for p in _PRIVATE_SWEEP) \
+                and key not in live_objects:
+            cloud.delete(key)
+            report.deleted_objects += 1
+
     # --- invalidate stat caches ----------------------------------------
     # Cached recipes may reference the extents just deleted, so any
     # sweep that removed data bumps the GC epoch: persisted blobs are
@@ -191,5 +235,43 @@ def collect_garbage(cloud, retain_sessions: Iterable[int]) -> GCReport:
     # stay warm.
     if report.deleted_containers or report.deleted_objects:
         report.statcache_blobs_deleted = invalidate_statcache(cloud)
+        report.statcache_blobs_deleted += _invalidate_tenant_statcaches(
+            cloud)
         report.statcache_invalidated = True
     return report
+
+
+def _invalidate_tenant_statcaches(cloud) -> int:
+    """Drop every tenant's persisted stat cache and bump its epoch.
+
+    The root :func:`~repro.core.filecache.invalidate_statcache` only
+    touches the root ``statcache/`` subtree, but a sweep on a shared
+    fleet backend deletes extents tenant caches may also reference —
+    each tenant namespace gets the same treatment so its clients'
+    resident caches invalidate on their next epoch check.  Returns the
+    number of tenant blobs deleted.
+    """
+    deleted = 0
+    namespaces = set()
+    for key in list(cloud.list(naming.TENANT_PREFIX)):
+        rest = key[len(naming.TENANT_PREFIX):]
+        namespace, sep, sub = rest.partition("/")
+        if not sep:
+            continue
+        # Every tenant gets an epoch bump — including ones with no
+        # persisted blobs (stat cache off today, maybe on tomorrow):
+        # the epoch is the proof-of-currency for *any* cached recipe.
+        namespaces.add(namespace)
+        if sub.startswith(naming.STATCACHE_PREFIX) \
+                and sub != naming.STATCACHE_EPOCH_KEY:
+            cloud.delete(key)
+            deleted += 1
+    for namespace in sorted(namespaces):
+        epoch_key = (naming.TENANT_PREFIX + namespace + "/"
+                     + naming.STATCACHE_EPOCH_KEY)
+        try:
+            epoch = int(cloud.get(epoch_key).decode("ascii"))
+        except (ReproError, KeyError, ValueError, UnicodeDecodeError):
+            epoch = 0
+        cloud.put(epoch_key, str(epoch + 1).encode("ascii"))
+    return deleted

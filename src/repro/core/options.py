@@ -13,9 +13,9 @@ from dataclasses import dataclass, replace
 from typing import Mapping, Optional
 
 from repro.chunking import CDC_FAMILY
-from repro.classify.filetype import Category
+from repro.classify.filetype import AppType, Category
 from repro.classify.policy import AA_POLICY_TABLE, DedupPolicy, \
-    cdc_policy_variant
+    cdc_policy_variant, retarget_policy
 from repro.errors import ConfigError
 from repro.util.units import KIB, MIB
 
@@ -149,6 +149,15 @@ class SchemeConfig:
     #: keep it off so their measured work stays paper-faithful.
     stat_cache: bool = False
 
+    #: Per-application chunker overrides: app label -> CDC-family engine
+    #: name (``{"vmdk": "seqcdc"}``).  Resolved *after* the category
+    #: policy table, so one application class can run a different
+    #: boundary engine than its category default — the declarative
+    #: service layer's ``app_chunkers`` job knob.  ``None``/empty means
+    #: no overrides.  Restore needs no knowledge of this: chunk identity
+    #: lives in the manifest.
+    app_chunkers: Optional[Mapping[str, str]] = None
+
     #: Where the fingerprint index physically lives — a modelling knob
     #: consumed by the trace engine: ``"ram"`` (hash table with the
     #: residency model) or ``"fs"`` (a filesystem pool à la BackupPC,
@@ -215,6 +224,28 @@ class SchemeConfig:
             raise ConfigError("journal_flush_interval must be >= 1")
         if self.use_containers and self.container_size < 4096:
             raise ConfigError("container_size too small")
+        if self.app_chunkers:
+            if self.incremental_only:
+                raise ConfigError(
+                    "app_chunkers requires a dedup scheme, not "
+                    "incremental")
+            from repro.classify.filetype import known_app_types
+            known = {app.label: app for app in known_app_types()}
+            for label, engine in self.app_chunkers.items():
+                app = known.get(label)
+                if app is None and label != "unknown":
+                    raise ConfigError(
+                        f"app_chunkers: unknown application label "
+                        f"{label!r}")
+                category = (app.category if app is not None
+                            else Category.DYNAMIC)
+                # Raises ConfigError for non-CDC engines and for bases
+                # (WFC) with no content-defined stage to swap.
+                try:
+                    retarget_policy(self.policy_for(category), engine)
+                except ConfigError as exc:
+                    raise ConfigError(
+                        f"app_chunkers[{label!r}]: {exc}") from exc
 
     # ------------------------------------------------------------------
     def policy_for(self, category: Category) -> DedupPolicy:
@@ -227,6 +258,22 @@ class SchemeConfig:
                     f"policy table lacks category {category}") from None
         assert self.fixed_policy is not None
         return self.fixed_policy
+
+    def policy_for_app(self, app: AppType) -> DedupPolicy:
+        """Resolve the dedup policy for one application type.
+
+        The category policy applies unless :attr:`app_chunkers` names a
+        per-application boundary-engine override for ``app.label`` — the
+        intelligent chunker's *category* decisions stay authoritative
+        for hashing and tiering; only the cut-point engine is swapped.
+        """
+        policy = self.policy_for(app.category)
+        if not self.app_chunkers:
+            return policy
+        engine = self.app_chunkers.get(app.label)
+        if engine is None:
+            return policy
+        return retarget_policy(policy, engine)
 
     def index_namespace(self, app_label: str, policy: DedupPolicy) -> str:
         """Subindex key for a chunk of application ``app_label``.

@@ -17,11 +17,13 @@ from repro.fleet.service import (
     FleetService,
 )
 from repro.fleet.workload import (
+    Corpus,
     generated_fleet_sources,
     synthetic_fleet_sources,
 )
 
 __all__ = [
+    "Corpus",
     "DirectoryShard",
     "FleetClient",
     "FleetClientResult",

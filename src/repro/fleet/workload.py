@@ -31,7 +31,8 @@ from repro.util.units import KIB, MB
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.materialize import materialize_composition
 
-__all__ = ["synthetic_fleet_sources", "generated_fleet_sources"]
+__all__ = ["Corpus", "synthetic_fleet_sources",
+           "generated_fleet_sources"]
 
 #: Extension cycle for the synthetic corpus — spans dynamic (doc),
 #: static (pdf, vmdk) and compressed (mp3) categories plus the
@@ -43,8 +44,13 @@ def _file_bytes(rng: np.random.Generator, size: int) -> bytes:
     return rng.integers(0, 256, size, dtype=np.uint8).tobytes()
 
 
-class _Corpus:
-    """A mutable set of files with churn and monotonically-bumped mtimes."""
+class Corpus:
+    """A mutable set of files with churn and monotonically-bumped mtimes.
+
+    Shared between the fleet workload builders and the declarative
+    service layer's synthetic job sources: both need a deterministic
+    corpus that ages one churn step per backup session.
+    """
 
     def __init__(self, prefix: str, seed: int, count: int,
                  base_size: int) -> None:
@@ -82,6 +88,10 @@ class _Corpus:
                                             len(self.files[path])))
         self._add_file()
 
+    def snapshot(self) -> MemorySource:
+        """An immutable source of the corpus as it stands right now."""
+        return MemorySource(dict(self.files), dict(self.mtimes))
+
 
 def synthetic_fleet_sources(clients: int, sessions: int, *,
                             seed: int = 2011,
@@ -99,8 +109,8 @@ def synthetic_fleet_sources(clients: int, sessions: int, *,
     """
     if clients < 1 or sessions < 1:
         raise WorkloadError("clients and sessions must be >= 1")
-    shared = _Corpus("shared", seed, shared_files, file_kib * KIB)
-    privates = [_Corpus("private", seed + 100_003 * (rank + 1),
+    shared = Corpus("shared", seed, shared_files, file_kib * KIB)
+    privates = [Corpus("private", seed + 100_003 * (rank + 1),
                         private_files, file_kib * KIB)
                 for rank in range(clients)]
     sources: List[List[MemorySource]] = [[] for _ in range(clients)]

@@ -42,12 +42,13 @@ _STAGE_GROUPS = (
     ("retry", "transfer"),
     ("container", "container"),
     ("durability", "durability"),
+    ("service", "service"),
 )
 
 #: Canonical stage order for the occupancy table (pipeline order).
 _OCCUPANCY_ORDER = ("read", "chunk", "hash", "statcache", "index",
                     "delta", "container", "transfer", "durability",
-                    "other")
+                    "service", "other")
 
 
 def stage_group(name: str) -> str:

@@ -1,0 +1,75 @@
+"""Declarative backup service layer (see docs/SERVICE.md).
+
+The paper's engine backs up one source set when invoked; a backup
+*service* runs many named jobs on schedules with retention and
+operational hooks.  This package is that orchestration shell:
+YAML/dict job specs (:mod:`~repro.service.spec`), interval schedules on
+the deterministic virtual clock (:mod:`~repro.service.schedule`),
+per-job retention driving the real garbage collector
+(:mod:`~repro.service.retention`), pre/post hooks
+(:mod:`~repro.service.hooks`), and the sequential deterministic runner
+(:mod:`~repro.service.runner`) — all over one shared backend using the
+fleet layer's namespace machinery.
+"""
+
+from repro.service.hooks import (
+    HookResult,
+    HookSet,
+    HookSpec,
+    builtin_hook_names,
+    register_builtin_hook,
+    run_hook,
+)
+from repro.service.retention import RetentionOutcome, apply_retention
+from repro.service.runner import (
+    BackupService,
+    FAILED,
+    IN_PROGRESS,
+    JobReport,
+    SCHEDULED,
+    SUCCEEDED,
+    ServiceReport,
+)
+from repro.service.schedule import IntervalSchedule, JobClock
+from repro.service.sources import (
+    CallableJobSource,
+    DirectoryJobSource,
+    JobSource,
+    SyntheticJobSource,
+)
+from repro.service.spec import (
+    JobSpec,
+    ServiceSpec,
+    load_config,
+    loads_config,
+    parse_config,
+)
+
+__all__ = [
+    "BackupService",
+    "CallableJobSource",
+    "DirectoryJobSource",
+    "FAILED",
+    "HookResult",
+    "HookSet",
+    "HookSpec",
+    "IN_PROGRESS",
+    "IntervalSchedule",
+    "JobClock",
+    "JobReport",
+    "JobSource",
+    "JobSpec",
+    "RetentionOutcome",
+    "SCHEDULED",
+    "SUCCEEDED",
+    "ServiceReport",
+    "ServiceSpec",
+    "SyntheticJobSource",
+    "apply_retention",
+    "builtin_hook_names",
+    "load_config",
+    "loads_config",
+    "parse_config",
+    "register_builtin_hook",
+    "run_hook",
+]

@@ -291,3 +291,144 @@ class TestDurabilityCommands:
         capsys.readouterr()
         assert run("repair", "--store", store) == 1
         assert "UNREPAIRABLE" in capsys.readouterr().err
+
+
+class TestJobsCommand:
+    """The declarative service CLI: exit-code contract 0/1/2."""
+
+    CONFIG = (
+        "jobs:\n"
+        "  - name: docs\n"
+        "    source: {kind: synthetic, files: 3, file_kib: 16}\n"
+        "    schedule: {interval: 3600}\n"
+        "    retention: {policy: retain-last, count: 2}\n"
+        "  - name: media\n"
+        "    scheme: Avamar\n"
+        "    chunker: fastcdc\n"
+        "    source: {kind: synthetic, files: 2, file_kib: 24}\n"
+        "    schedule: {interval: 7200, offset: 600}\n"
+        "    retention: {policy: max-age, seconds: 7200}\n"
+        "  - name: vm\n"
+        "    app_chunkers: {vmdk: seqcdc}\n"
+        "    source: {kind: synthetic, files: 2, file_kib: 48}\n"
+        "    schedule: {interval: 3600, offset: 1800}\n"
+    )
+
+    def config_file(self, tmp_path, text=None):
+        path = tmp_path / "jobs.yaml"
+        path.write_text(text if text is not None else self.CONFIG)
+        return path
+
+    def test_run_executes_heterogeneous_jobs(self, tmp_path, capsys):
+        config = self.config_file(tmp_path)
+        store = tmp_path / "store"
+        assert run("jobs", "run", "--config", config, "--store", store,
+                   "--until", "14400", "--report",
+                   tmp_path / "report.json") == 0
+        out = capsys.readouterr().out
+        for job in ("docs", "media", "vm"):
+            assert job in out
+        assert "dropped" in out            # retention fired through GC
+        import json
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["exit_code"] == 0
+        assert {r["job"] for r in report["runs"]} == \
+            {"docs", "media", "vm"}
+        assert all(r["state"] == "SUCCEEDED" for r in report["runs"])
+
+    def test_run_is_deterministic_across_invocations(self, tmp_path,
+                                                     capsys):
+        config = self.config_file(tmp_path)
+        outputs = []
+        for name in ("s1", "s2"):
+            assert run("jobs", "run", "--config", config, "--store",
+                       tmp_path / name, "--until", "7200") == 0
+            outputs.append(capsys.readouterr().out)
+            stores = sorted(
+                p.relative_to(tmp_path / name)
+                for p in (tmp_path / name).rglob("*") if p.is_file())
+            outputs.append(stores)
+        assert outputs[0] == outputs[2]
+        assert outputs[1] == outputs[3]
+
+    def test_list_jobs_needs_no_store(self, tmp_path, capsys):
+        config = self.config_file(tmp_path)
+        assert run("jobs", "run", "--config", config,
+                   "--list-jobs") == 0
+        out = capsys.readouterr().out
+        assert "docs" in out and "Avamar" in out and "manual" not in out
+
+    def test_job_subset_selection(self, tmp_path, capsys):
+        config = self.config_file(tmp_path)
+        store = tmp_path / "store"
+        assert run("jobs", "run", "--config", config, "--store", store,
+                   "--job", "media") == 0
+        out = capsys.readouterr().out
+        assert "media" in out and "docs" not in out
+
+    def test_failing_job_exits_one_with_report(self, tmp_path, capsys):
+        config = self.config_file(
+            tmp_path,
+            "jobs:\n"
+            "  - name: doomed\n"
+            "    source: {kind: synthetic, files: 2}\n"
+            "    hooks:\n"
+            "      pre: [{builtin: fail}]\n"
+            "  - name: fine\n"
+            "    source: {kind: synthetic, files: 2}\n")
+        store = tmp_path / "store"
+        assert run("jobs", "run", "--config", config,
+                   "--store", store) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out        # report still printed
+        assert "doomed" in captured.err
+
+    def test_config_error_exits_two(self, tmp_path, capsys):
+        config = self.config_file(
+            tmp_path, "jobs:\n  - name: j\n    source: /x\n"
+                      "    retention: {policy: hourly}\n")
+        assert run("jobs", "run", "--config", config,
+                   "--store", tmp_path / "s") == 2
+        assert "config error" in capsys.readouterr().err
+
+    def test_missing_config_file_exits_two(self, tmp_path, capsys):
+        assert run("jobs", "run", "--config", tmp_path / "none.yaml",
+                   "--store", tmp_path / "s") == 2
+        assert "cannot read config" in capsys.readouterr().err
+
+    def test_unknown_job_selection_exits_two(self, tmp_path, capsys):
+        config = self.config_file(tmp_path)
+        assert run("jobs", "run", "--config", config,
+                   "--store", tmp_path / "s", "--job", "nope") == 2
+        assert "no job named" in capsys.readouterr().err
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        config = self.config_file(tmp_path)
+        assert run("jobs", "run", "--config", config) == 2
+        assert "--store" in capsys.readouterr().err
+
+
+class TestGcRetainLast:
+    def test_retain_last_by_manifest_age(self, source_tree, tmp_path,
+                                         capsys):
+        store = tmp_path / "cloud"
+        for i in range(3):
+            (source_tree / "note.txt").write_text(f"rev {i}")
+            run("backup", source_tree, "--store", store, "--quiet")
+        capsys.readouterr()
+        assert run("gc", "--store", store, "--retain-last", "2") == 0
+        out = capsys.readouterr().out
+        assert "retained sessions: [1, 2]" in out
+        assert run("ls", "--store", store) == 0
+        out = capsys.readouterr().out
+        rows = [line.split("|")[0].strip()
+                for line in out.splitlines()[2:] if "|" in line]
+        assert rows == ["1", "2"]  # session 0 swept, newest two remain
+
+    def test_retain_last_invalid_count_exits_two(self, source_tree,
+                                                 tmp_path, capsys):
+        store = tmp_path / "cloud"
+        run("backup", source_tree, "--store", store, "--quiet")
+        capsys.readouterr()
+        assert run("gc", "--store", store, "--retain-last", "0") == 2
+        assert "--retain-last" in capsys.readouterr().err
