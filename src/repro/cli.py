@@ -334,10 +334,26 @@ def cmd_fleet(args) -> int:
             cfg = cfg.with_(container_size=parse_size(args.container_size))
         return cfg
 
+    directory = None
+    if args.sparse_shards:
+        from repro.fleet import GlobalDedupDirectory
+        from repro.index.sparse import SparseShardIndex
+        directory = GlobalDedupDirectory(
+            shards_per_app=args.shards,
+            index_factory=lambda app, bucket: SparseShardIndex(),
+            cache_capacity=args.shard_cache,
+            locality_capacity=args.locality_cache,
+            filter_capacity=args.shard_filter,
+            shard_split_entries=args.shard_split,
+            tracer=tracer)
     service = FleetService(clients=args.clients,
                            config_factory=config,
+                           directory=directory,
                            shards_per_app=args.shards,
                            cache_capacity=args.shard_cache,
+                           locality_capacity=args.locality_cache,
+                           filter_capacity=args.shard_filter,
+                           shard_split_entries=args.shard_split,
                            waves=args.waves,
                            tracer=tracer)
     try:
@@ -541,6 +557,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory shards per application label")
     p.add_argument("--shard-cache", type=int, default=0,
                    help="LRU entries fronting each directory shard")
+    p.add_argument("--locality-cache", type=int, default=0,
+                   help="HPDedup-style locality-prioritized cache entries "
+                        "fronting each shard (alternative to --shard-cache)")
+    p.add_argument("--shard-filter", type=int, default=0,
+                   help="Bloom-filter front capacity per shard; cold "
+                        "misses are absorbed without touching the index")
+    p.add_argument("--shard-split", type=int, default=0,
+                   help="split a shard's consistent-hash arc once its "
+                        "committed entries exceed this (0 = never)")
+    p.add_argument("--sparse-shards", action="store_true",
+                   help="back shards with the FAST'09 sampling-based "
+                        "sparse index (approximate dedup, tiny RAM)")
     p.add_argument("--scheme", default="AA-Dedupe")
     p.add_argument("--container-size", default=None,
                    help="override container size, e.g. 256KiB")

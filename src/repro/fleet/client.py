@@ -15,7 +15,13 @@ on a local miss:
 * **directory miss** — memoised for the rest of the directory epoch
   (the committed snapshot is frozen between commits, so a miss cannot
   turn into a hit mid-round) — repeated probes for hot new chunks cost
-  one shard batch, not one per occurrence.
+  one shard batch, not one per occurrence.  The memo is
+  **filter-aware**: a miss the directory answered from a shard's Bloom
+  front (or an unallocated shard) is *not* memoised — re-probing it is
+  already a RAM bit test with no seek, so the memo set stays bounded by
+  the handful of misses that actually reached a backing index instead
+  of growing with every cold fingerprint a million-client fleet
+  streams through.
 
 New local inserts are published to the directory through a write-behind
 **outbox**, flushed in batches (amortising shard locks and, on a
@@ -57,6 +63,9 @@ class FleetIndex(ChunkIndex):
         self.remote_probes = 0
         #: Directory hits — chunks first uploaded by some other client.
         self.remote_hits = 0
+        #: Directory misses absorbed by a shard filter front (or an
+        #: unallocated shard) — cheap enough that they skip the memo.
+        self.filter_absorbed = 0
         #: Bytes saved by adopting remote entries (cross-client dedup,
         #: counted once at adoption; repeats afterwards are local hits).
         self.adopted_bytes = 0
@@ -76,9 +85,14 @@ class FleetIndex(ChunkIndex):
         elif fingerprint in self._misses:
             return None
         self.remote_probes += 1
-        remote = self.directory.lookup_batch(self.app, (fingerprint,))[0]
+        found, absorbed = self.directory.probe_batch(
+            self.app, (fingerprint,), stream=self.rank)
+        remote = found[0]
         if remote is None:
-            self._misses.add(fingerprint)
+            if absorbed[0]:
+                self.filter_absorbed += 1
+            else:
+                self._misses.add(fingerprint)
             return None
         self.remote_hits += 1
         self.adopted_bytes += remote.length

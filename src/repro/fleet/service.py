@@ -162,6 +162,12 @@ class FleetReport:
     epochs: int = 0
     directory_entries: int = 0
     committed_entries: int = 0
+    #: Cold probes absorbed by shard Bloom fronts (no seek, no batch).
+    filter_rejects: int = 0
+    #: Ring splits performed by epoch-barrier rebalancing.
+    rebalances: int = 0
+    #: Committed entries migrated between shards by rebalancing.
+    migrated_entries: int = 0
 
     # -- fleet aggregates ----------------------------------------------
     @property
@@ -252,17 +258,21 @@ class FleetReport:
                          self.aggregate_goodput])
         summary.add_row(["directory entries", self.directory_entries])
         summary.add_row(["directory epochs", self.epochs])
+        summary.add_row(["filter rejects", self.filter_rejects])
+        summary.add_row(["shard splits", self.rebalances])
+        summary.add_row(["entries migrated", self.migrated_entries])
         summary.add_row(["server seek seconds",
                          self.server_seek_seconds()])
         out.append(summary.render())
         shards = Table(
             ["shard", "entries", "batches", "probes", "hits",
-             "publishes", "accepted"],
+             "filtered", "publishes", "accepted"],
             title="directory shards")
         for row in self.shard_rows:
             shards.add_row([row["shard"], row["entries"], row["batches"],
-                            row["probes"], row["hits"], row["publishes"],
-                            row["accepted"]])
+                            row["probes"], row["hits"],
+                            row.get("filter_rejects", 0),
+                            row["publishes"], row["accepted"]])
         out.append(shards.render())
         return "\n\n".join(out)
 
@@ -284,6 +294,9 @@ class FleetService:
                  directory: Optional[GlobalDedupDirectory] = None,
                  shards_per_app: int = 4,
                  cache_capacity: int = 0,
+                 locality_capacity: int = 0,
+                 filter_capacity: int = 0,
+                 shard_split_entries: int = 0,
                  waves: int = 2,
                  wan: WANLink = PAPER_WAN,
                  wan_spread: float = 0.5,
@@ -299,6 +312,9 @@ class FleetService:
         self.directory = directory if directory is not None else \
             GlobalDedupDirectory(shards_per_app=shards_per_app,
                                  cache_capacity=cache_capacity,
+                                 locality_capacity=locality_capacity,
+                                 filter_capacity=filter_capacity,
+                                 shard_split_entries=shard_split_entries,
                                  tracer=self.tracer)
         self.waves = waves
         self._epochs_committed = 0
@@ -417,6 +433,9 @@ class FleetService:
             epochs=self._epochs_committed,
             directory_entries=len(self.directory),
             committed_entries=self._entries_committed,
+            filter_rejects=self.directory.filter_rejects,
+            rebalances=self.directory.rebalances,
+            migrated_entries=self.directory.migrated_entries,
         )
 
     def close(self) -> None:

@@ -12,7 +12,11 @@ Implementations:
 * :class:`~repro.index.disk.DiskIndex` — persistent memtable + sorted-run
   (mini-LSM) index with per-run Bloom filters and IO accounting;
 * :class:`~repro.index.appaware.AppAwareIndex` — the paper's structure:
-  one subindex per application label, with optional parallel batch lookup.
+  one subindex per application label, with optional parallel batch lookup;
+* :class:`~repro.index.locality.LocalityCache` — HPDedup-style cache
+  front that evicts low-temporal-locality streams first;
+* :class:`~repro.index.sparse.SparseShardIndex` — FAST'09
+  sampling-based approximate index for a fleet directory's long tail.
 """
 
 from repro.index.base import ChunkIndex, IndexEntry, IndexStats
@@ -20,8 +24,9 @@ from repro.index.memory import MemoryIndex
 from repro.index.bloom import BloomFilter
 from repro.index.disk import DiskIndex
 from repro.index.cache import LRUCache
+from repro.index.locality import LocalityCache
 from repro.index.appaware import AppAwareIndex
-from repro.index.sparse import SparseIndexDeduper
+from repro.index.sparse import SparseIndexDeduper, SparseShardIndex
 
 __all__ = [
     "ChunkIndex",
@@ -31,6 +36,8 @@ __all__ = [
     "BloomFilter",
     "DiskIndex",
     "LRUCache",
+    "LocalityCache",
     "AppAwareIndex",
     "SparseIndexDeduper",
+    "SparseShardIndex",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import struct
 
 import numpy as np
 
@@ -71,26 +72,52 @@ class BloomFilter:
         return fill ** self.num_hashes
 
     # -- serialisation (stored alongside each on-disk run) -------------
+    #: Serialised header: magic, capacity, num_bits, num_hashes, count,
+    #: fp_rate.  The fp_rate travels with the filter so a round-trip
+    #: restores the constructor's ``(0, 1)`` invariant — resized clones
+    #: (e.g. a shard front growing past capacity) need the original
+    #: target rate, not a sentinel.
+    _MAGIC = b"BLM2"
+    _HEADER = struct.Struct(">4sQQHQd")
+
     def to_bytes(self) -> bytes:
-        """Serialise (header + bit array)."""
-        header = (self.capacity.to_bytes(8, "big")
-                  + int(self.num_bits).to_bytes(8, "big")
-                  + self.num_hashes.to_bytes(2, "big")
-                  + self.count.to_bytes(8, "big"))
+        """Serialise (self-describing header + bit array)."""
+        header = self._HEADER.pack(self._MAGIC, self.capacity,
+                                   int(self.num_bits), self.num_hashes,
+                                   self.count, self.fp_rate)
         return header + self._bits.tobytes()
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "BloomFilter":
-        """Inverse of :meth:`to_bytes`."""
-        capacity = int.from_bytes(blob[0:8], "big")
-        num_bits = int.from_bytes(blob[8:16], "big")
-        num_hashes = int.from_bytes(blob[16:18], "big")
-        count = int.from_bytes(blob[18:26], "big")
+        """Inverse of :meth:`to_bytes`.
+
+        Raises :class:`ValueError` on anything that is not a complete
+        blob produced by :meth:`to_bytes` — a short read, a foreign
+        file, or a header whose fields violate the constructor's
+        invariants must never come back as a silently-broken filter.
+        """
+        if len(blob) < cls._HEADER.size:
+            raise ValueError(
+                f"bloom blob truncated: {len(blob)} bytes < "
+                f"{cls._HEADER.size}-byte header")
+        magic, capacity, num_bits, num_hashes, count, fp_rate = \
+            cls._HEADER.unpack_from(blob)
+        if magic != cls._MAGIC:
+            raise ValueError(f"bad bloom magic {magic!r}")
+        if capacity < 1 or num_bits < 8 or num_hashes < 1:
+            raise ValueError("bloom header violates sizing invariants")
+        if not (0.0 < fp_rate < 1.0):
+            raise ValueError(f"bloom header fp_rate {fp_rate} not in (0, 1)")
+        body = blob[cls._HEADER.size:]
+        if len(body) != (num_bits + 7) // 8:
+            raise ValueError(
+                f"bloom bit array truncated: {len(body)} bytes for "
+                f"{num_bits} bits")
         bf = cls.__new__(cls)
         bf.capacity = capacity
-        bf.fp_rate = 0.0  # unknown after round-trip; sizing already fixed
+        bf.fp_rate = fp_rate
         bf.num_bits = num_bits
         bf.num_hashes = num_hashes
         bf.count = count
-        bf._bits = np.frombuffer(blob[26:], dtype=np.uint8).copy()
+        bf._bits = np.frombuffer(body, dtype=np.uint8).copy()
         return bf

@@ -100,13 +100,18 @@ class DiskIndex(ChunkIndex):
 
     ``directory`` holds run files ``run-NNNN.idx`` (+ ``.bloom``); the
     memtable is rebuilt empty on open, so callers should :meth:`flush`
-    before closing to make all entries durable.
+    before closing to make all entries durable.  ``bloom_fp_rate=None``
+    disables the per-run Bloom side-cars entirely — the *unfiltered*
+    disk index of the paper's bottleneck argument, where every probe
+    (hit or miss) binary-searches the runs.  The fleet-scale benchmark
+    uses it as the baseline arm the shard-level filter front is
+    measured against.
     """
 
     def __init__(self, directory: str | os.PathLike,
                  memtable_limit: int = 65536,
                  max_runs: int = 8,
-                 bloom_fp_rate: float = 0.01) -> None:
+                 bloom_fp_rate: Optional[float] = 0.01) -> None:
         super().__init__()
         if memtable_limit < 1:
             raise IndexError_("memtable_limit must be >= 1")
@@ -191,11 +196,12 @@ class DiskIndex(ChunkIndex):
         self._next_run += 1
         blob = b"".join(e.pack() for e in entries)
         atomic_write_bytes(path, blob)
-        bloom = BloomFilter(capacity=max(1, len(entries)),
-                            fp_rate=self.bloom_fp_rate)
-        for e in entries:
-            bloom.add(e.fingerprint)
-        atomic_write_bytes(path.with_suffix(".bloom"), bloom.to_bytes())
+        if self.bloom_fp_rate is not None:
+            bloom = BloomFilter(capacity=max(1, len(entries)),
+                                fp_rate=self.bloom_fp_rate)
+            for e in entries:
+                bloom.add(e.fingerprint)
+            atomic_write_bytes(path.with_suffix(".bloom"), bloom.to_bytes())
         self._runs.append(_Run(path))
 
     def compact(self) -> None:

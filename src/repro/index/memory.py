@@ -36,6 +36,16 @@ class MemoryIndex(ChunkIndex):
         self.generation += 1
         self._map[entry.fingerprint] = entry
 
+    def discard(self, fingerprint: bytes) -> None:
+        """Drop ``fingerprint`` if present (shard-migration support).
+
+        Optional protocol: callers that rebalance entries between
+        indices probe for this method with ``getattr`` — backings
+        without it simply keep unreachable stale records.
+        """
+        if self._map.pop(fingerprint, None) is not None:
+            self.generation += 1
+
     def __len__(self) -> int:
         return len(self._map)
 

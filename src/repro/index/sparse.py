@@ -18,9 +18,11 @@ exact indexing (see ``benchmarks/test_bench_sparse_index.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-__all__ = ["SparseIndexDeduper", "SparseStats"]
+from repro.index.base import ChunkIndex, IndexEntry
+
+__all__ = ["SparseIndexDeduper", "SparseShardIndex", "SparseStats"]
 
 
 @dataclass
@@ -140,3 +142,130 @@ class SparseIndexDeduper:
     def manifest_entries(self) -> int:
         """Total chunk ids across on-disk segment manifests."""
         return sum(len(m) for m in self._manifests.values())
+
+
+class SparseShardIndex(ChunkIndex):
+    """Sampling-based :class:`~repro.index.base.ChunkIndex` for the
+    long-tail tier of a fleet directory shard.
+
+    The RAM-resident part is the FAST'09 *sparse index*: exact entries
+    only for **hook** fingerprints (those whose leading 64 bits have
+    ``sample_bits`` trailing zeros) plus a hook → segment map.  Full
+    entries live in fixed-size **segment manifests** — modelled on-disk
+    structures whose loads are charged to ``stats.disk_probes`` /
+    ``disk_bytes``.
+
+    Lookups are approximate: before a probe batch the caller (the
+    directory shard) announces the batch via :meth:`begin_batch`, which
+    elects at most ``max_champions`` champion segments by hook overlap
+    and loads their manifests; a non-hook fingerprint is only found if
+    a champion (or the open, still-in-RAM segment) holds it.  A
+    duplicate outside the champions is reported as a miss — the client
+    re-uploads it, trading a bounded dedup loss for a RAM footprint
+    that is ``~1/2^sample_bits`` of the exact index and at most
+    ``max_champions`` sequential manifest loads per batch instead of
+    per-fingerprint random IO.
+    """
+
+    def __init__(self, segment_chunks: int = 512, sample_bits: int = 4,
+                 max_champions: int = 4,
+                 max_segments_per_hook: int = 8) -> None:
+        super().__init__()
+        if segment_chunks < 1 or sample_bits < 0 or max_champions < 1 \
+                or max_segments_per_hook < 1:
+            raise ValueError("invalid sparse-shard parameters")
+        self.segment_chunks = segment_chunks
+        self.sample_mask = (1 << sample_bits) - 1
+        self.max_champions = max_champions
+        self.max_segments_per_hook = max_segments_per_hook
+        self._hooks: Dict[bytes, IndexEntry] = {}
+        self._hook_segments: Dict[bytes, List[int]] = {}
+        self._segments: Dict[int, Dict[bytes, IndexEntry]] = {}
+        self._open: Dict[bytes, IndexEntry] = {}
+        self._loaded: Dict[bytes, IndexEntry] = {}
+        self._next_segment = 0
+        self._count = 0
+        self.champions_loaded = 0
+
+    # ------------------------------------------------------------------
+    def _is_hook(self, fingerprint: bytes) -> bool:
+        return (int.from_bytes(fingerprint[:8], "big")
+                & self.sample_mask) == 0
+
+    def begin_batch(self, fingerprints: Iterable[bytes]) -> None:
+        """Elect and load champion segments for one probe batch."""
+        votes: Dict[int, int] = {}
+        for fp in fingerprints:
+            for segment in self._hook_segments.get(fp, ()):
+                votes[segment] = votes.get(segment, 0) + 1
+        champions = sorted(votes, key=lambda s: (-votes[s], -s))
+        self._loaded = {}
+        for segment in champions[: self.max_champions]:
+            manifest = self._segments[segment]
+            self._loaded.update(manifest)
+            self.champions_loaded += 1
+            self.stats.disk_probes += 1
+            self.stats.disk_bytes += len(manifest) * IndexEntry.RECORD_SIZE
+
+    def _seal(self) -> None:
+        if not self._open:
+            return
+        segment_id = self._next_segment
+        self._next_segment += 1
+        manifest = self._open
+        self._open = {}
+        self._segments[segment_id] = manifest
+        for fp in manifest:
+            if self._is_hook(fp):
+                entries = self._hook_segments.setdefault(fp, [])
+                if len(entries) >= self.max_segments_per_hook:
+                    entries.pop(0)  # FIFO, as in the paper
+                entries.append(segment_id)
+
+    # -- ChunkIndex interface ------------------------------------------
+    def lookup(self, fingerprint: bytes) -> Optional[IndexEntry]:
+        """Hooks and the open segment from RAM; everything else only
+        through the champions loaded for the current batch."""
+        self.stats.lookups += 1
+        entry = self._hooks.get(fingerprint)
+        if entry is None:
+            entry = self._open.get(fingerprint)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return entry
+        entry = self._loaded.get(fingerprint)
+        if entry is not None:
+            self.stats.hits += 1  # IO already charged by begin_batch
+        return entry
+
+    def insert(self, entry: IndexEntry) -> None:
+        self.stats.inserts += 1
+        self.generation += 1
+        fingerprint = entry.fingerprint
+        if fingerprint not in self._open:
+            self._count += 1
+        self._open[fingerprint] = entry
+        if self._is_hook(fingerprint):
+            self._hooks[fingerprint] = entry
+        if len(self._open) >= self.segment_chunks:
+            self._seal()
+
+    def __len__(self) -> int:
+        return self._count
+
+    def entries(self) -> Iterator[IndexEntry]:
+        """Every stored entry (open segment, then sealed manifests)."""
+        for entry in list(self._open.values()):
+            yield entry
+        for segment_id in sorted(self._segments):
+            yield from self._segments[segment_id].values()
+
+    # ------------------------------------------------------------------
+    def ram_entries(self) -> int:
+        """RAM-resident entries: hooks + the open segment buffer."""
+        return len(self._hooks) + len(self._open)
+
+    def approximate_bytes(self) -> int:
+        """RAM footprint — the sampled-index selling point."""
+        return self.ram_entries() * IndexEntry.RECORD_SIZE

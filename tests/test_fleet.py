@@ -35,12 +35,12 @@ def entry(i: int, length: int = 64) -> IndexEntry:
 
 
 class TestGlobalDedupDirectory:
-    def test_sharding_by_app_and_prefix(self):
+    def test_sharding_by_app_and_ring(self):
         d = GlobalDedupDirectory(shards_per_app=4)
         a = d.shard_for("doc", fp(1))
         assert a is d.shard_for("doc", fp(1))
         assert a is not d.shard_for("mp3", fp(1))  # apps never share
-        assert a.bucket == fp(1)[0] % 4
+        assert 0 <= a.bucket < 4
 
     def test_publish_invisible_until_commit(self):
         d = GlobalDedupDirectory()
@@ -109,6 +109,137 @@ class TestGlobalDedupDirectory:
         assert isinstance(d.shards()[0].index, LRUCache)
         assert d.lookup("doc", fp(1)) == entry(1)
 
+    def test_locality_capacity_fronts_shards(self):
+        from repro.index.locality import LocalityCache
+        d = GlobalDedupDirectory(shards_per_app=1, locality_capacity=16)
+        d.publish_batch("doc", [entry(1)], rank=0)
+        d.commit_epoch()
+        assert isinstance(d.shards()[0].index, LocalityCache)
+        assert d.lookup("doc", fp(1)) == entry(1)
+        (row,) = d.stats_rows()
+        assert row["locality"]  # scores visible once a stream probed
+
+    def test_cache_fronts_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            GlobalDedupDirectory(cache_capacity=4, locality_capacity=4)
+
+    # -- regression: single-byte bucketing capped shards at 256 --------
+    @pytest.mark.parametrize("shards", [6, 300])
+    def test_ring_occupancy_near_uniform(self, shards):
+        d = GlobalDedupDirectory(shards_per_app=shards)
+        n = 30_000
+        d.publish_batch("doc", [entry(i) for i in range(n)], rank=0)
+        d.commit_epoch()
+        counts = {b: 0 for b in range(shards)}
+        for shard in d.shards():
+            counts[shard.bucket] = len(shard)
+        mean = n / shards
+        # Every configured bucket is reachable (the old fingerprint[0]
+        # router left shards 256.. permanently empty) and load is
+        # near-uniform (non-divisors of 256 used to skew it).
+        assert min(counts.values()) > 0.4 * mean
+        assert max(counts.values()) < 2.0 * mean
+
+    # -- regression: read path must never allocate shards --------------
+    def test_lookup_never_allocates_shards(self):
+        d = GlobalDedupDirectory(shards_per_app=4)
+        out = d.lookup_batch("doc", [fp(i) for i in range(64)])
+        assert out == [None] * 64
+        assert d.shards() == []          # no shard map mutation
+        assert d.absent_probes == 64
+        # A published app allocates only the arcs publishes touched;
+        # probing a *different* app afterwards still allocates nothing.
+        d.publish_batch("doc", [entry(1)], rank=0)
+        d.commit_epoch()
+        before = [s.key for s in d.shards()]
+        assert d.lookup("mp3", fp(1)) is None
+        assert d.lookup_batch("mp3", [fp(2), fp(3)]) == [None, None]
+        assert [s.key for s in d.shards()] == before
+
+    # -- regression: stats must merge the whole wrapper chain ----------
+    def test_stats_walk_three_deep_chain(self, tmp_path):
+        from repro.index.disk import DiskIndex
+        from repro.index.locality import LocalityCache
+
+        def factory(app, bucket):
+            # filter -> locality cache -> LRU -> disk: three wrapper
+            # levels over the disk index.
+            disk = DiskIndex(tmp_path / f"{app}-{bucket}",
+                             memtable_limit=2, bloom_fp_rate=None)
+            return LocalityCache(LRUCache(disk, capacity=1), capacity=1)
+
+        d = GlobalDedupDirectory(shards_per_app=1, index_factory=factory)
+        d.publish_batch("doc", [entry(i) for i in range(8)], rank=0)
+        d.commit_epoch()
+        for i in range(8):
+            assert d.lookup("doc", fp(i)) == entry(i)
+        shard = d.shards()[0]
+        stats = shard.stats
+        deep = shard.index.backing.backing.stats  # the DiskIndex
+        assert deep.disk_probes > 0
+        # Disk IO surfaces through both cache levels ...
+        assert stats.disk_probes == deep.disk_probes
+        assert stats.disk_bytes == deep.disk_bytes
+        # ... and memory hits accumulate across every level.
+        chain_memory = (shard.index.stats.memory_hits
+                        + shard.index.backing.stats.memory_hits
+                        + deep.memory_hits)
+        assert stats.memory_hits == chain_memory
+        assert stats.lookups == shard.index.stats.lookups
+        (row,) = d.stats_rows()
+        assert row["disk_probes"] == deep.disk_probes
+
+    # -- bloom filter front --------------------------------------------
+    def test_filter_front_absorbs_cold_misses(self):
+        d = GlobalDedupDirectory(shards_per_app=1, filter_capacity=64)
+        d.publish_batch("doc", [entry(i) for i in range(8)], rank=0)
+        d.commit_epoch()
+        shard = d.shards()[0]
+        baseline_batches = shard.batches
+        cold = [fp(i) for i in range(1000, 1032)]
+        out, absorbed = d.probe_batch("doc", cold)
+        assert out == [None] * 32
+        # Near-all cold probes are answered by the filter: no index
+        # lookup, and a fully-absorbed group costs no batch seek.
+        assert sum(absorbed) >= 30
+        assert shard.filter_rejects >= 30
+        assert shard.stats.lookups <= 2  # only bloom false positives
+        assert shard.batches <= baseline_batches + 1
+        # Committed fingerprints always pass the filter (no false
+        # negatives): every hit still lands.
+        hits, flags = d.probe_batch("doc", [fp(i) for i in range(8)])
+        assert hits == [entry(i) for i in range(8)]
+        assert not any(flags)
+
+    def test_filter_grows_past_capacity(self):
+        d = GlobalDedupDirectory(shards_per_app=1, filter_capacity=16)
+        d.publish_batch("doc", [entry(i) for i in range(200)], rank=0)
+        d.commit_epoch()
+        shard = d.shards()[0]
+        assert shard.bloom.capacity >= 200
+        assert all(d.lookup("doc", fp(i)) == entry(i) for i in range(200))
+
+    # -- consistent-hash rebalancing -----------------------------------
+    def test_split_migrates_and_preserves_lookups(self):
+        d = GlobalDedupDirectory(shards_per_app=2, filter_capacity=32,
+                                 shard_split_entries=40)
+        d.publish_batch("doc", [entry(i) for i in range(200)], rank=0)
+        d.commit_epoch()
+        # Several epochs of splits under sustained overload.
+        for _ in range(4):
+            d.commit_epoch()
+        assert d.rebalances > 0
+        assert d.migrated_entries > 0
+        assert len({s.bucket for s in d.shards()}) > 2
+        assert len(d) == 200  # nothing lost in migration
+        # Every entry still routes to a shard that holds it.
+        assert all(d.lookup("doc", fp(i)) == entry(i) for i in range(200))
+        # Shards agree with the ring: each holds only its own arcs.
+        ring = d._ring("doc")
+        for shard in d.shards():
+            for e in shard.committed_entries():
+                assert ring.node_for(e.fingerprint) == shard.bucket
+
 
 class TestFleetIndex:
     def test_local_before_remote(self):
@@ -134,6 +265,10 @@ class TestFleetIndex:
 
     def test_miss_memo_per_epoch(self):
         d = GlobalDedupDirectory(shards_per_app=1)
+        # Allocate the shard first: the memo covers misses that reached
+        # a backing index (absent-shard misses are absorbed instead).
+        d.publish_batch("doc", [entry(99)], rank=0)
+        d.commit_epoch()
         ix = FleetIndex(d, "doc", rank=1)
         for _ in range(5):
             assert ix.lookup(fp(3)) is None
@@ -143,16 +278,39 @@ class TestFleetIndex:
         assert ix.lookup(fp(3)) == entry(3)  # memo invalidated by commit
         assert ix.remote_probes == 2
 
+    def test_absorbed_misses_skip_the_memo(self):
+        # Misses the shard filter (or an absent shard) answers are not
+        # memoised: re-probing is a RAM bit test, and the memo set must
+        # not grow with every cold fingerprint at fleet scale.
+        d = GlobalDedupDirectory(shards_per_app=1, filter_capacity=32)
+        d.publish_batch("doc", [entry(1)], rank=0)
+        d.commit_epoch()
+        ix = FleetIndex(d, "doc", rank=1)
+        for _ in range(4):
+            assert ix.lookup(fp(777)) is None
+        assert ix.filter_absorbed == 4
+        assert len(ix._misses) == 0
+        # Absent-shard probes behave the same way.
+        cold = FleetIndex(d, "mp3", rank=1)
+        assert cold.lookup(fp(5)) is None
+        assert cold.filter_absorbed == 1
+        assert len(cold._misses) == 0
+
     def test_outbox_batches_publishes(self):
         d = GlobalDedupDirectory(shards_per_app=1)
         ix = FleetIndex(d, "doc", rank=0, publish_batch=4)
         for i in range(3):
             ix.insert(entry(i))
-        assert d.shards() == [] or d.shards()[0].publishes == 0
-        ix.insert(entry(3))  # hits the batch threshold
+        d.commit_epoch()
+        assert d.shards() == []   # below threshold: nothing published
+        ix.insert(entry(3))       # hits the batch threshold
+        # The shard materialises at the barrier (live topology is
+        # frozen between commits) and the offer count rides along.
+        assert d.shards() == []
+        d.commit_epoch()
         assert d.shards()[0].publishes == 4
         ix.insert(entry(4))
-        ix.flush_publishes()
+        ix.flush_publishes()      # shard exists now: direct offer
         assert d.shards()[0].publishes == 5
 
     def test_adopted_and_reinserted_entries_not_republished(self):

@@ -142,6 +142,59 @@ class TestBloomFilter:
         with pytest.raises(ValueError):
             BloomFilter(capacity=10, fp_rate=1.5)
 
+    # -- regression: round-trip used to lose fp_rate (came back 0.0,
+    # -- breaking any resized clone) and accepted truncated blobs ------
+    def test_roundtrip_preserves_fp_rate(self):
+        bf = BloomFilter(capacity=64, fp_rate=0.003)
+        clone = BloomFilter.from_bytes(bf.to_bytes())
+        assert clone.fp_rate == 0.003
+        # The restored rate must satisfy the constructor invariant so a
+        # grow/rebuild cycle can reuse it directly.
+        BloomFilter(capacity=clone.capacity * 2, fp_rate=clone.fp_rate)
+
+    def test_from_bytes_rejects_garbage(self):
+        bf = BloomFilter(capacity=32)
+        blob = bf.to_bytes()
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"")                  # empty
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(blob[:10])            # short header
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(blob[:-1])            # short bit array
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(blob + b"x")          # trailing junk
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"NOPE" + blob[4:])   # foreign magic
+
+    @given(st.integers(1, 2000),
+           st.floats(0.0005, 0.2),
+           st.lists(st.binary(min_size=1, max_size=32), max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_is_lossless(self, capacity, rate, items):
+        bf = BloomFilter(capacity=capacity, fp_rate=rate)
+        for item in items:
+            bf.add(item)
+        clone = BloomFilter.from_bytes(bf.to_bytes())
+        assert (clone.capacity, clone.fp_rate, clone.num_bits,
+                clone.num_hashes, clone.count) == \
+            (bf.capacity, bf.fp_rate, bf.num_bits, bf.num_hashes, bf.count)
+        assert clone.to_bytes() == bf.to_bytes()
+        assert all(clone.might_contain(item) for item in items)
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_property_arbitrary_bytes_never_return_broken_filter(self, blob):
+        # Anything from_bytes accepts must behave like a real filter;
+        # everything else must raise ValueError, never crash or return
+        # a filter with out-of-invariant fields.
+        try:
+            bf = BloomFilter.from_bytes(blob)
+        except ValueError:
+            return
+        assert bf.capacity >= 1 and 0.0 < bf.fp_rate < 1.0
+        bf.add(b"probe")
+        assert bf.might_contain(b"probe")
+
 
 class TestDiskIndex:
     def test_basic_roundtrip(self, tmp_path):
